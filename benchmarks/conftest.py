@@ -1,0 +1,61 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it in the paper's layout, saves it under ``results/`` and asserts the
+*shape* findings (who wins, by roughly what factor) — absolute numbers
+come from a simulator, not the authors' Myri-10G testbed.
+
+Scale control: ``REPRO_BENCH_SCALE`` ∈ {"quick", "paper"} (default
+"quick").  "paper" runs the full 64/128/256-rank Table I sweep; "quick"
+shrinks rank counts and iteration budgets so the whole harness completes
+in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def is_paper_scale() -> bool:
+    return SCALE == "paper"
+
+
+def save_result(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print a paper-style table and persist it under results/."""
+    banner = f"\n================ {name} ================\n"
+    print(banner + text)
+    save_result(name, text)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return SCALE
+
+
+def format_table(headers: list[str], rows: list[list], widths=None) -> str:
+    """Minimal fixed-width table renderer (no external deps)."""
+    if widths is None:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+            for i, h in enumerate(headers)
+        ]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,84 @@
+"""Simulator throughput micro-benchmarks.
+
+Not a paper artefact — a performance regression canary for the substrate
+itself: the Table I sweep and the cascade stress tests are only practical
+because the engine dispatches hundreds of thousands of events per second.
+"""
+
+import pytest
+
+from repro.apps import FTKernel, Stencil2D
+from repro.core import ProtocolConfig, build_ft_world
+from repro.simmpi import World
+from repro.simmpi.engine import Engine
+
+from conftest import emit, format_table
+
+
+def test_engine_event_dispatch_rate(benchmark):
+    def burst():
+        eng = Engine()
+        for i in range(10_000):
+            eng.schedule(i * 1e-9, lambda: None)
+        eng.run()
+        return eng.events_dispatched
+
+    assert benchmark(burst) == 10_000
+
+
+def test_pt2pt_message_rate(benchmark):
+    def run():
+        world = World(8, lambda r, s: Stencil2D(r, s, niters=30, block=3),
+                      copy_payloads=False)
+        world.launch()
+        world.run()
+        return world.tracer.total_app_messages()
+
+    msgs = benchmark(run)
+    assert msgs > 0
+
+
+def test_protocol_overhead_factor(benchmark):
+    """Wall-clock cost of the full protocol stack vs the bare substrate on
+    the same workload (acks double the event count; bookkeeping adds CPU)."""
+    import time
+
+    def bare():
+        world = World(8, lambda r, s: Stencil2D(r, s, niters=30, block=3),
+                      copy_payloads=False)
+        world.launch()
+        world.run()
+
+    def with_protocol():
+        world, _ = build_ft_world(
+            8, lambda r, s: Stencil2D(r, s, niters=30, block=3),
+            ProtocolConfig(checkpoint_interval=3e-5, lightweight=True,
+                           retain_payloads=False),
+            copy_payloads=False,
+        )
+        world.launch()
+        world.run()
+
+    t0 = time.perf_counter(); bare(); t_bare = time.perf_counter() - t0
+    t0 = time.perf_counter(); with_protocol(); t_ft = time.perf_counter() - t0
+    factor = t_ft / t_bare if t_bare else float("inf")
+    emit("simulator_throughput.txt", format_table(
+        ["configuration", "wall s"],
+        [["bare substrate", f"{t_bare:.3f}"],
+         ["full protocol", f"{t_ft:.3f}"],
+         ["factor", f"{factor:.2f}"]],
+    ))
+    benchmark.pedantic(with_protocol, rounds=2, iterations=1)
+    assert factor < 20  # bookkeeping, not an algorithmic blow-up
+
+
+def test_alltoall_heavy_workload_rate(benchmark):
+    def run():
+        world = World(32, lambda r, s: FTKernel(r, s, niters=2, slab=2),
+                      copy_payloads=False)
+        world.launch()
+        world.run()
+        return world.tracer.total_app_messages()
+
+    msgs = benchmark(run)
+    assert msgs >= 32 * 31 * 2

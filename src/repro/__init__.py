@@ -1,0 +1,15 @@
+"""repro — reproduction of "Uncoordinated Checkpointing Without Domino
+Effect for Send-Deterministic MPI Applications" (IPDPS 2011).
+
+Subpackages
+-----------
+* :mod:`repro.simmpi` — discrete-event MPI runtime simulator (substrate)
+* :mod:`repro.core` — the paper's protocol, recovery process, clustering
+* :mod:`repro.baselines` — coordinated / message-logging / plain
+  uncoordinated / CIC comparison protocols
+* :mod:`repro.apps` — send-deterministic NAS-pattern mini-kernels
+* :mod:`repro.analysis` — rollback & logging analyses (Table I, Fig. 8)
+* :mod:`repro.netmodel` — analytic performance model (Figs. 6-7)
+"""
+
+__version__ = "1.0.0"

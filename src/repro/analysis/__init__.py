@@ -1,0 +1,28 @@
+"""``repro.analysis`` — offline analyses for the paper's evaluation.
+
+Rollback analysis (Table I's ``%rl``, Section V-E-1 methodology), logging
+statistics (``%log``), communication matrices (Fig. 8) and the analytic
+``(p+1)/2p`` rollback model (Section V-E-3).
+"""
+
+from .commmatrix import collect_matrix, matrix_stats, render_matrix
+from .logstats import LogStats, collect_log_stats
+from .rollback import RollbackStats, SpeSampler, SpeSnapshot, rollback_analysis
+from .timeline import Timeline, render_timeline
+from .validity import ValidityReport, compare_executions
+from .theory import (
+    expected_rollback_fraction,
+    expected_rolled_back_clusters,
+    monte_carlo_rollback_fraction,
+    rollback_fraction_given_position,
+)
+
+__all__ = [
+    "collect_matrix", "matrix_stats", "render_matrix",
+    "LogStats", "collect_log_stats",
+    "RollbackStats", "SpeSampler", "SpeSnapshot", "rollback_analysis",
+    "expected_rollback_fraction", "expected_rolled_back_clusters",
+    "monte_carlo_rollback_fraction", "rollback_fraction_given_position",
+    "ValidityReport", "compare_executions",
+    "Timeline", "render_timeline",
+]

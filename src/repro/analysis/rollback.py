@@ -1,0 +1,124 @@
+"""Offline rollback analysis — the paper's Table I methodology (Sec. V-E-1).
+
+    "To compute the number of processes to roll back, the SPE table of all
+    processes is saved every 30 s during the execution.  We analyze these
+    data offline and run the recovery protocol: for each version of SPE,
+    we compute the rollbacks that would be induced by the failure of each
+    process.  Then, we can compute an estimation of the average number of
+    processes to roll back in the event of a failure."
+
+:class:`SpeSampler` attaches to a live controller and snapshots every
+rank's SPE table at a fixed virtual period; :func:`rollback_analysis`
+replays the recovery-line fix-point for every (snapshot, failed-rank) pair
+and aggregates the statistics the paper reports (``%rl``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.controller import FTController
+from ..core.recovery import RecoveryLineSolver
+
+__all__ = ["SpeSnapshot", "SpeSampler", "RollbackStats", "rollback_analysis"]
+
+
+@dataclass
+class SpeSnapshot:
+    """All ranks' SPE tables + current epochs at one instant."""
+
+    time: float
+    spe_tables: dict[int, dict]  # rank -> spe export
+    epochs: dict[int, int]       # rank -> current epoch (= latest ckpt epoch)
+
+
+class SpeSampler:
+    """Periodically snapshots the SPE tables of a running world."""
+
+    def __init__(self, controller: FTController, interval: float,
+                 first_at: float | None = None):
+        self.controller = controller
+        self.interval = interval
+        self.snapshots: list[SpeSnapshot] = []
+        self._first_at = interval if first_at is None else first_at
+
+    def arm(self) -> None:
+        assert self.controller.world is not None
+        self.controller.world.engine.schedule_at(self._first_at, self._tick)
+
+    def _tick(self) -> None:
+        assert self.controller.world is not None
+        if self.controller.world.all_done:
+            return  # stop the timer or the event queue never drains
+        self.take()
+        self.controller.world.engine.schedule(self.interval, self._tick)
+
+    def take(self) -> SpeSnapshot:
+        """Record one snapshot immediately."""
+        ctl = self.controller
+        snap = SpeSnapshot(
+            time=ctl.now,
+            spe_tables={r: p.state.spe_export() for r, p in enumerate(ctl.protocols)},
+            epochs={r: p.state.epoch for r, p in enumerate(ctl.protocols)},
+        )
+        self.snapshots.append(snap)
+        return snap
+
+
+@dataclass
+class RollbackStats:
+    """Aggregated rollback statistics over (snapshot × failed rank) trials."""
+
+    nprocs: int
+    trials: int
+    #: rolled-back process count for each trial
+    counts: list[int] = field(default_factory=list)
+    #: per failed rank: mean rolled-back count across snapshots
+    per_rank_mean: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def mean_count(self) -> float:
+        return float(np.mean(self.counts)) if self.counts else 0.0
+
+    @property
+    def mean_fraction(self) -> float:
+        return self.mean_count / self.nprocs if self.nprocs else 0.0
+
+    @property
+    def percent(self) -> float:
+        """The paper's ``%rl`` column."""
+        return 100.0 * self.mean_fraction
+
+    def worst_fraction(self) -> float:
+        return max(self.counts) / self.nprocs if self.counts else 0.0
+
+    def best_fraction(self) -> float:
+        return min(self.counts) / self.nprocs if self.counts else 0.0
+
+
+def rollback_analysis(
+    snapshots: list[SpeSnapshot],
+    nprocs: int,
+    failed_ranks: list[int] | None = None,
+) -> RollbackStats:
+    """Run the recovery protocol offline for every (snapshot, failure).
+
+    A failed process restarts at its latest checkpoint, i.e. the beginning
+    of its current epoch; every rank appearing in the resulting recovery
+    line rolls back (including the failed one).
+    """
+    ranks = list(range(nprocs)) if failed_ranks is None else failed_ranks
+    stats = RollbackStats(nprocs=nprocs, trials=len(snapshots) * len(ranks))
+    per_rank: dict[int, list[int]] = {r: [] for r in ranks}
+    for snap in snapshots:
+        solver = RecoveryLineSolver(snap.spe_tables)
+        for f in ranks:
+            rl = solver.solve({f: snap.epochs[f]})
+            stats.counts.append(len(rl))
+            per_rank[f].append(len(rl))
+    stats.per_rank_mean = {
+        r: float(np.mean(v)) if v else 0.0 for r, v in per_rank.items()
+    }
+    return stats

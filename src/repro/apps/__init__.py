@@ -1,0 +1,47 @@
+"""``repro.apps`` — send-deterministic mini-kernels.
+
+Five NAS-pattern kernels (CG, MG, FT, LU, BT/SP — the Table I set), generic
+stencils and the NetPIPE-style ping-pong of Fig. 6.  Every kernel follows
+the :class:`~repro.apps.base.RankProgram` contract: restartable from a
+snapshot and send-deterministic by construction.
+"""
+
+from .base import RankProgram
+from .bt import ADIKernel, BTKernel
+from .cg import CGKernel, cg_grid
+from .ft import FTKernel
+from .is_sort import ISKernel
+from .lu import LUKernel
+from .mg import MGKernel
+from .pingpong import DEFAULT_SIZES, PingPong
+from .reduce_tree import ReduceTreeKernel
+from .sp import SPKernel
+from .stencil import Stencil1D, Stencil2D
+
+#: the Table I kernel set, keyed the way the paper's rows are
+TABLE1_KERNELS = {
+    "MG": MGKernel,
+    "LU": LUKernel,
+    "FT": FTKernel,
+    "CG": CGKernel,
+    "BT": BTKernel,
+}
+
+__all__ = [
+    "RankProgram",
+    "ADIKernel",
+    "BTKernel",
+    "CGKernel",
+    "cg_grid",
+    "FTKernel",
+    "ISKernel",
+    "LUKernel",
+    "MGKernel",
+    "PingPong",
+    "ReduceTreeKernel",
+    "DEFAULT_SIZES",
+    "SPKernel",
+    "Stencil1D",
+    "Stencil2D",
+    "TABLE1_KERNELS",
+]

@@ -1,0 +1,165 @@
+"""CG — conjugate-gradient kernel communication pattern (NPB CG).
+
+NPB CG distributes a sparse SPD matrix over a ``nprows x npcols`` process
+grid (both powers of two).  Each CG iteration performs:
+
+* a **row butterfly**: ``log2(npcols)`` pairwise exchange steps among the
+  processes of a row (recursive doubling) to reduce the partial
+  matrix-vector products — this produces the block-diagonal squares of the
+  paper's Fig. 8 (left);
+* a **transpose exchange** with the symmetric grid position (swap of row
+  and column indices) to redistribute the result vector — the off-diagonal
+  bands in Fig. 8;
+* scalar **all-reduces** (``p.q`` and ``rho``) over all ranks.
+
+On *square* grids (16, 64, 256 ranks) this kernel is an exact distributed
+CG: rank ``(i, j)`` owns dense block ``A[i, j]`` of a deterministic SPD
+matrix and the column-replicated vector blocks ``x_j, r_j, p_j``; the row
+butterfly assembles ``q_i = (A p)_i`` and the transpose exchange converts
+it to column distribution.  Tests verify true CG convergence.  On
+rectangular power-of-two grids (8, 32, 128 ranks, where NPB uses its
+``reduce_exch_proc`` half-row pairing) the same message schedule runs in
+*pattern mode* with bounded surrogate arithmetic — Table I and Fig. 8 only
+depend on the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..simmpi.api import MpiApi
+from ..simmpi.topology import is_power_of_two
+from .base import RankProgram
+
+__all__ = ["CGKernel", "cg_grid"]
+
+
+def cg_grid(size: int) -> tuple[int, int]:
+    """NPB CG process grid ``(nprows, npcols)``: powers of two with
+    ``npcols == nprows`` (even log2) or ``npcols == 2 * nprows``."""
+    if not is_power_of_two(size):
+        raise ConfigError(f"CG needs a power-of-two rank count, got {size}")
+    log2 = size.bit_length() - 1
+    nprows = 1 << (log2 // 2)
+    npcols = size // nprows
+    return nprows, npcols
+
+
+def _spd_matrix(n: int, seed: int = 2011) -> np.ndarray:
+    """Deterministic well-conditioned SPD matrix (same on every rank)."""
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n)) / np.sqrt(n)
+    return m.T @ m + np.eye(n)
+
+
+class CGKernel(RankProgram):
+    """Distributed CG with the NPB CG communication skeleton.
+
+    Parameters
+    ----------
+    niters:
+        CG iterations (one NPB conjugate-gradient inner loop).
+    block:
+        Column-block length per rank.
+    compute_time:
+        Virtual seconds charged per local mat-vec.
+    """
+
+    TAG_BUTTERFLY = 100
+    TAG_TRANSPOSE = 101
+
+    def __init__(self, rank: int, size: int, niters: int = 25, block: int = 8,
+                 compute_time: float = 0.0):
+        super().__init__(rank, size)
+        self.nprows, self.npcols = cg_grid(size)
+        self.row = rank // self.npcols
+        self.col = rank % self.npcols
+        self.exact = self.nprows == self.npcols
+        self.compute_time = compute_time
+        if self.exact:
+            n = self.nprows * block
+            a = _spd_matrix(n)
+            self.a_block = a[
+                self.row * block:(self.row + 1) * block,
+                self.col * block:(self.col + 1) * block,
+            ]
+            rng = np.random.default_rng(99)  # same rhs on all ranks
+            b = rng.standard_normal(n)
+            b_j = b[self.col * block:(self.col + 1) * block]
+        else:
+            self.a_block = np.eye(block) * 0.5
+            rng = np.random.default_rng(99 + self.col)
+            b_j = rng.standard_normal(block)
+        self.state = {
+            "it": 0,
+            "niters": niters,
+            "x": np.zeros(block),
+            "r": b_j.copy(),
+            "p": b_j.copy(),
+            "rho": float("nan"),
+            "res_history": [],
+        }
+
+    # -- grid helpers ----------------------------------------------------
+    def _row_partners(self) -> list[int]:
+        base = self.row * self.npcols
+        return [
+            base + (self.col ^ (1 << b))
+            for b in range(self.npcols.bit_length() - 1)
+        ]
+
+    def _transpose_partner(self) -> int:
+        if self.exact:
+            return self.col * self.npcols + self.row
+        # rectangular grid: NPB pairs the two column halves of the row
+        half = self.npcols // 2
+        return self.row * self.npcols + (self.col + half) % self.npcols
+
+    def run(self, api: MpiApi) -> Generator[Any, Any, None]:
+        st = self.state
+        partners = self._row_partners()
+        tpartner = self._transpose_partner()
+        scale = 1.0 / self.nprows  # column replication factor in dot products
+        while st["it"] < st["niters"]:
+            # partial q = A[i, j] @ p_j, then row butterfly sums over j
+            q = self.a_block @ st["p"]
+            if self.compute_time:
+                yield api.compute(self.compute_time)
+            for peer in partners:
+                yield api.send(peer, q.copy(), tag=self.TAG_BUTTERFLY)
+                other = yield api.recv(peer, tag=self.TAG_BUTTERFLY)
+                q = q + other
+            # transpose exchange: row-distributed q_i -> column-distributed q_j
+            if tpartner != api.rank:
+                yield api.send(tpartner, q.copy(), tag=self.TAG_TRANSPOSE)
+                q = yield api.recv(tpartner, tag=self.TAG_TRANSPOSE)
+            pq = yield from api.allreduce(float(st["p"] @ q) * scale)
+            rho = yield from api.allreduce(float(st["r"] @ st["r"]) * scale)
+            if self.exact:
+                alpha = rho / pq if pq else 0.0
+                st["x"] = st["x"] + alpha * st["p"]
+                st["r"] = st["r"] - alpha * q
+                rho_new = yield from api.allreduce(
+                    float(st["r"] @ st["r"]) * scale
+                )
+                beta = rho_new / rho if rho else 0.0
+                st["p"] = st["r"] + beta * st["p"]
+            else:
+                # pattern mode: same schedule, bounded surrogate update
+                st["x"] = np.tanh(st["x"] + 0.1 * q)
+                st["r"] = 0.9 * st["r"]
+                rho_new = yield from api.allreduce(
+                    float(st["r"] @ st["r"]) * scale
+                )
+                st["p"] = st["r"] + 0.5 * st["p"]
+            st["rho"] = rho_new
+            st["res_history"].append(rho_new)
+            st["it"] += 1
+            yield api.maybe_checkpoint()
+
+    def result(self) -> dict[str, Any]:
+        return {"x": self.state["x"], "rho": self.state["rho"],
+                "res_history": list(self.state["res_history"])}

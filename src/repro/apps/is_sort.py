@@ -1,0 +1,86 @@
+"""IS — parallel integer (bucket) sort communication pattern (NPB IS).
+
+NPB IS ranks a large array of small integers: each iteration computes
+local key histograms, combines them with an **all-reduce**, derives the
+bucket boundaries, and redistributes the keys with an **all-to-all(v)**.
+Communication-wise it sits between FT (dense all-to-all) and the stencil
+kernels: dense but volume-skewed by the key distribution.
+
+Not part of the paper's Table I set (they ran the five class-D-capable
+kernels), included as an extension workload: its alltoall payloads are
+data-dependent in *size* but the send sequence (who-to-whom, per
+iteration) is fixed — a useful edge case for the send-determinism
+contract, which constrains the message sequence, not the byte counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..simmpi.api import MpiApi
+from .base import RankProgram
+
+__all__ = ["ISKernel"]
+
+
+class ISKernel(RankProgram):
+    """Bucket sort with the NPB IS schedule.
+
+    Parameters
+    ----------
+    niters:
+        Ranking iterations (NPB IS runs 10).
+    keys_per_rank:
+        Local key count.
+    max_key:
+        Key range; buckets are ``max_key / size`` wide.
+    """
+
+    def __init__(self, rank: int, size: int, niters: int = 5,
+                 keys_per_rank: int = 64, max_key: int = 1 << 11,
+                 compute_time: float = 0.0):
+        super().__init__(rank, size)
+        self.max_key = max_key
+        self.compute_time = compute_time
+        rng = np.random.default_rng(1000 + rank)
+        self.state = {
+            "it": 0,
+            "niters": niters,
+            "keys": rng.integers(0, max_key, size=keys_per_rank,
+                                 dtype=np.int64),
+            "checksum": 0,
+        }
+
+    def run(self, api: MpiApi) -> Generator[Any, Any, None]:
+        st = self.state
+        width = self.max_key // api.size or 1
+        while st["it"] < st["niters"]:
+            keys = st["keys"]
+            # local histogram over P coarse buckets + global combine
+            local_counts = np.bincount(
+                np.minimum(keys // width, api.size - 1), minlength=api.size
+            )
+            total_counts = yield from api.allreduce(local_counts)
+            if self.compute_time:
+                yield api.compute(self.compute_time)
+            # redistribute: bucket b goes to rank b
+            buckets = [
+                np.sort(keys[np.minimum(keys // width, api.size - 1) == b])
+                for b in range(api.size)
+            ]
+            received = yield from api.alltoall(buckets)
+            merged = np.sort(np.concatenate(received)) if received else keys
+            # verify bucketing against the global histogram
+            assert len(merged) == int(total_counts[api.rank])
+            # next iteration permutes the keys deterministically so the
+            # traffic pattern varies across iterations (NPB re-ranks
+            # modified keys each iteration)
+            st["keys"] = (merged * 5 + st["it"] + api.rank) % self.max_key
+            st["checksum"] = yield from api.allreduce(int(merged.sum()))
+            st["it"] += 1
+            yield api.maybe_checkpoint()
+
+    def result(self) -> dict[str, Any]:
+        return {"checksum": self.state["checksum"]}

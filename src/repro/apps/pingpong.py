@@ -1,0 +1,65 @@
+"""Two-rank NetPIPE-style ping-pong (Fig. 6's workload).
+
+Rank 0 sends a buffer of ``size`` bytes to rank 1, which bounces it back;
+``reps`` round trips per size, over a sweep of message sizes.  The world's
+timing model (plus the protocol's overhead knobs in
+:mod:`repro.netmodel`) turns the measured virtual round-trip times into
+the latency/bandwidth curves of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..simmpi.api import MpiApi
+from .base import RankProgram
+
+__all__ = ["PingPong", "DEFAULT_SIZES"]
+
+#: NetPIPE-like size sweep: 1 B ... 8 MiB in powers of two
+DEFAULT_SIZES = [1 << k for k in range(0, 24)]
+
+
+class PingPong(RankProgram):
+    """Rank 0 <-> rank 1 round trips; other ranks idle.
+
+    ``state['timings']`` maps message size to the mean one-way time
+    (half round trip), measured in virtual seconds on rank 0.
+    """
+
+    TAG_PING, TAG_PONG = 500, 501
+
+    def __init__(self, rank: int, size: int, sizes: list[int] | None = None,
+                 reps: int = 3):
+        super().__init__(rank, size)
+        if size < 2:
+            raise ConfigError("ping-pong needs two ranks")
+        self.sizes = list(sizes or DEFAULT_SIZES)
+        self.reps = reps
+        self.state = {"idx": 0, "timings": {}}
+
+    def run(self, api: MpiApi) -> Generator[Any, Any, None]:
+        if api.rank > 1:
+            return
+        while self.state["idx"] < len(self.sizes):
+            size = self.sizes[self.state["idx"]]
+            payload = np.zeros(max(1, size // 8), dtype=np.float64)
+            if api.rank == 0:
+                start = yield api.now()
+                for _ in range(self.reps):
+                    yield api.send(1, payload, tag=self.TAG_PING, size=size)
+                    payload = yield api.recv(1, tag=self.TAG_PONG)
+                end = yield api.now()
+                self.state["timings"][size] = (end - start) / (2 * self.reps)
+            else:
+                for _ in range(self.reps):
+                    payload = yield api.recv(0, tag=self.TAG_PING)
+                    yield api.send(0, payload, tag=self.TAG_PONG, size=size)
+            self.state["idx"] += 1
+            yield api.maybe_checkpoint()
+
+    def result(self) -> dict[int, float]:
+        return dict(self.state["timings"])

@@ -1,0 +1,96 @@
+"""Anonymous-receive reduction tree — an ANY_SOURCE send-deterministic app.
+
+Send-determinism does not forbid ``MPI_ANY_SOURCE``: it only requires the
+*send* sequence to be independent of reception interleavings.  This kernel
+is the canonical such case — a binomial reduction where each parent
+receives its children's partial sums with ``ANY_SOURCE`` and a commutative
+combine, then forwards one message up.  Reception order varies freely
+(and does vary across network jitter seeds); the sends do not.
+
+Included because the paper's *phase* machinery exists precisely for
+applications with anonymous receives: during recovery, replayed messages
+from different senders may race into an ``ANY_SOURCE`` receive, and
+causal-delivery ordering keeps the matching equivalent to some correct
+execution.  Tests drive failures through this kernel to exercise that
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..simmpi.api import ANY_SOURCE, MpiApi
+from .base import RankProgram
+
+__all__ = ["ReduceTreeKernel"]
+
+
+class ReduceTreeKernel(RankProgram):
+    """Repeated binomial all-reduce with ANY_SOURCE parents.
+
+    Each iteration: every rank contributes ``value``; parents sum their
+    children's messages received with ``ANY_SOURCE`` (commutative, so the
+    order is irrelevant); rank 0 broadcasts the total back down the same
+    tree; every rank folds the total into its state.
+    """
+
+    TAG_UP = 600
+    TAG_DOWN = 601
+
+    def __init__(self, rank: int, size: int, niters: int = 10,
+                 compute_time: float = 0.0):
+        super().__init__(rank, size)
+        self.compute_time = compute_time
+        rng = np.random.default_rng(31 + rank)
+        self.state = {
+            "it": 0,
+            "niters": niters,
+            "value": float(rng.uniform(0.5, 1.5)),
+            "totals": [],
+        }
+
+    def _children(self, api: MpiApi) -> list[int]:
+        out = []
+        mask = 1
+        while mask < api.size:
+            if api.rank & (mask - 1) == 0 and api.rank | mask != api.rank:
+                child = api.rank | mask
+                if child < api.size:
+                    out.append(child)
+            if api.rank & mask:
+                break
+            mask <<= 1
+        return out
+
+    def _parent(self, api: MpiApi) -> int | None:
+        """Binomial-tree parent: the rank with the lowest set bit cleared."""
+        if api.rank == 0:
+            return None
+        return api.rank & (api.rank - 1)
+
+    def run(self, api: MpiApi) -> Generator[Any, Any, None]:
+        st = self.state
+        children = self._children(api)
+        parent = self._parent(api)
+        while st["it"] < st["niters"]:
+            acc = st["value"] * (st["it"] + 1)
+            # upward pass: ANY_SOURCE — children arrive in any order
+            for _ in children:
+                acc += yield api.recv(ANY_SOURCE, tag=self.TAG_UP)
+            if self.compute_time:
+                yield api.compute(self.compute_time)
+            if parent is not None:
+                yield api.send(parent, acc, tag=self.TAG_UP)
+                total = yield api.recv(parent, tag=self.TAG_DOWN)
+            else:
+                total = acc
+            for child in children:
+                yield api.send(child, total, tag=self.TAG_DOWN)
+            st["totals"].append(total)
+            st["it"] += 1
+            yield api.maybe_checkpoint()
+
+    def result(self) -> list[float]:
+        return list(self.state["totals"])

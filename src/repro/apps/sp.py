@@ -1,0 +1,23 @@
+"""SP — scalar penta-diagonal ADI communication pattern (NPB SP).
+
+SP is BT's scalar sibling: the same ADI sweep structure on the same square
+process grid, but the penta-diagonal solver splits each directional solve
+into more pipeline stages exchanging smaller messages (NPB SP communicates
+roughly 2-3x as many messages per step as BT, each a few times smaller).
+We model that with ``sweeps_per_dir=3`` and a smaller block size.
+"""
+
+from __future__ import annotations
+
+from .bt import ADIKernel
+
+__all__ = ["SPKernel"]
+
+
+class SPKernel(ADIKernel):
+    """SP: three pipelined sub-sweeps per direction, smaller payloads."""
+
+    def __init__(self, rank: int, size: int, niters: int = 8, block: int = 4,
+                 compute_time: float = 0.0):
+        super().__init__(rank, size, niters=niters, block=block,
+                         sweeps_per_dir=3, compute_time=compute_time)

@@ -1,0 +1,27 @@
+"""``repro.baselines`` — the protocols the paper compares against.
+
+* :mod:`repro.baselines.coordinated` — Chandy–Lamport coordinated
+  checkpointing (global restart; the "100 % rollback" reference).
+* :mod:`repro.baselines.pessimistic_log` — pessimistic sender-based
+  message logging (restart one process; logs 100 % of messages).
+* :mod:`repro.baselines.uncoordinated_plain` — plain uncoordinated
+  checkpointing (domino effect, Section V-E-2).
+* :mod:`repro.baselines.cic` — index-based communication-induced
+  checkpointing (forced-checkpoint amplification, Section VI).
+"""
+
+from .cic import CICConfig, CICController, build_cic_world
+from .coordinated import CLConfig, CLController, build_cl_world
+from .pessimistic_log import PMLConfig, PMLController, build_pml_world
+from .uncoordinated_plain import (
+    DominoStats,
+    plain_uncoordinated_config,
+    run_domino_analysis,
+)
+
+__all__ = [
+    "CICConfig", "CICController", "build_cic_world",
+    "CLConfig", "CLController", "build_cl_world",
+    "PMLConfig", "PMLController", "build_pml_world",
+    "DominoStats", "plain_uncoordinated_config", "run_domino_analysis",
+]

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin front-end over the library for the common workflows:
+
+* ``demo`` — run a clustered workload, inject a failure, report recovery;
+* ``table1`` — regenerate Table I for chosen kernels/sizes/clusters;
+* ``fig6`` — print the ping-pong latency/bandwidth table;
+* ``pattern`` — print a kernel's communication matrix with clustering;
+* ``domino`` — quantify the domino effect vs the protocol.
+
+Each command prints the paper-style output the benchmarks save under
+``results/`` but lets users pick parameters interactively.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis import (
+    SpeSampler,
+    collect_matrix,
+    expected_rollback_fraction,
+    render_matrix,
+    rollback_analysis,
+)
+from .analysis.report import Table1Cell, format_table, format_table1
+from .apps import TABLE1_KERNELS, Stencil2D
+from .baselines import run_domino_analysis
+from .core import ProtocolConfig, build_ft_world
+from .core.clustering import Clustering, block_clusters
+from .netmodel import MODES, PerfModel
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Uncoordinated checkpointing without domino effect "
+                    "(IPDPS 2011) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="clustered recovery demo")
+    demo.add_argument("--ranks", type=int, default=8)
+    demo.add_argument("--clusters", type=int, default=2)
+    demo.add_argument("--fail-rank", type=int, default=None)
+
+    t1 = sub.add_parser("table1", help="regenerate Table I cells")
+    t1.add_argument("--kernels", nargs="+", default=["CG", "FT"],
+                    choices=sorted(TABLE1_KERNELS))
+    t1.add_argument("--ranks", nargs="+", type=int, default=[16])
+    t1.add_argument("--clusters", nargs="+", type=int, default=[4])
+    t1.add_argument("--niters", type=int, default=8)
+
+    sub.add_parser("fig6", help="ping-pong latency/bandwidth table")
+
+    pat = sub.add_parser("pattern", help="communication matrix + clustering")
+    pat.add_argument("kernel", choices=sorted(TABLE1_KERNELS))
+    pat.add_argument("--ranks", type=int, default=16)
+    pat.add_argument("--clusters", type=int, default=4)
+
+    dom = sub.add_parser("domino", help="domino effect vs the protocol")
+    dom.add_argument("--ranks", type=int, default=12)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def cmd_demo(args: argparse.Namespace) -> int:
+    nprocs = args.ranks
+    clusters = block_clusters(nprocs, args.clusters)
+    config = ProtocolConfig(checkpoint_interval=3e-5, cluster_of=clusters,
+                            cluster_stagger=5e-6, rank_stagger=1e-6)
+    factory = lambda r, s: Stencil2D(r, s, niters=40, block=3)
+
+    ref, _ = _run(nprocs, factory, config)
+    fail_rank = args.fail_rank if args.fail_rank is not None else nprocs - 1
+    world, controller = build_ft_world(nprocs, factory, config)
+    controller.inject_failure(ref.engine.now / 2, fail_rank)
+    controller.arm()
+    world.launch()
+    world.run()
+    report = controller.recovery_reports[0]
+    stats = controller.logging_stats()
+    print(f"failure of rank {fail_rank} at t={ref.engine.now / 2 * 1e3:.3f} ms")
+    print(f"rolled back  : {report.rolled_back} "
+          f"({len(report.rolled_back)}/{nprocs})")
+    print(f"%log         : {100 * stats['log_fraction']:.1f}")
+    for rank in range(nprocs):
+        if not np.allclose(ref.programs[rank].result(),
+                           world.programs[rank].result()):
+            print(f"VALIDITY VIOLATION at rank {rank}")
+            return 1
+    print("validity     : results identical to the failure-free run")
+    return 0
+
+
+def _run(nprocs, factory, config):
+    world, controller = build_ft_world(nprocs, factory, config)
+    world.launch()
+    world.run()
+    return world, controller
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    cells = []
+    for name in args.kernels:
+        cls = TABLE1_KERNELS[name]
+        for nprocs in args.ranks:
+            for ncl in args.clusters:
+                if ncl > nprocs:
+                    continue
+                factory = lambda r, s: cls(r, s, niters=args.niters,
+                                           compute_time=1e-5)
+                config = ProtocolConfig(
+                    checkpoint_interval=6e-5,
+                    cluster_of=block_clusters(nprocs, ncl),
+                    cluster_stagger=8e-6, rank_stagger=2e-7,
+                    lightweight=True, retain_payloads=False,
+                )
+                world, controller = build_ft_world(
+                    nprocs, factory, config, copy_payloads=False
+                )
+                sampler = SpeSampler(controller, interval=7e-5)
+                sampler.arm()
+                world.launch()
+                world.run()
+                if not sampler.snapshots:
+                    sampler.take()
+                log = controller.logging_stats()
+                rb = rollback_analysis(sampler.snapshots, nprocs)
+                cells.append(Table1Cell(name, nprocs, ncl,
+                                        100 * log["log_fraction"], rb.percent))
+    print(format_table1(cells))
+    theory = "  ".join(
+        f"{p}cl:{100 * expected_rollback_fraction(p):.1f}%"
+        for p in sorted(set(args.clusters))
+    )
+    print(f"theoretical %rl ((p+1)/2p): {theory}")
+    return 0
+
+
+def cmd_fig6(_args: argparse.Namespace) -> int:
+    model = PerfModel()
+    sizes = [1 << k for k in range(0, 24, 2)]
+    rows = [
+        [size] + [f"{model.one_way_time(size, m) * 1e6:.2f}" for m in MODES]
+        + [f"{model.bandwidth_mbps(size, m):.0f}" for m in MODES]
+        for size in sizes
+    ]
+    print(format_table(
+        ["size_B", "lat_native_us", "lat_nolog_us", "lat_log_us",
+         "bw_native", "bw_nolog", "bw_log"], rows,
+    ))
+    return 0
+
+
+def cmd_pattern(args: argparse.Namespace) -> int:
+    cls = TABLE1_KERNELS[args.kernel]
+    matrix = collect_matrix(args.ranks, lambda r, s: cls(r, s),
+                            copy_payloads=False)
+    clusters = block_clusters(args.ranks, args.clusters)
+    clustering = Clustering(clusters, matrix).reconfigure_epochs()
+    print(render_matrix(matrix, clusters, clustering.initial_epochs(),
+                        max_width=64))
+    print(f"locality {100 * clustering.locality():.1f}%  "
+          f"isolation {100 * clustering.isolation():.1f}%  "
+          f"predicted log {100 * clustering.predicted_log_fraction():.1f}%")
+    return 0
+
+
+def cmd_domino(args: argparse.Namespace) -> int:
+    factory = lambda r, s: Stencil2D(r, s, niters=40, block=3)
+    stats = run_domino_analysis(args.ranks, factory, checkpoint_interval=2e-5,
+                                sample_interval=4e-5, jitter=0.15,
+                                copy_payloads=False)
+    print(f"plain uncoordinated: {100 * stats.mean_rolled_back_fraction:.1f}% "
+          f"rolled back, {100 * stats.restart_from_beginning_fraction:.1f}% "
+          f"of failures reach the initial state")
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "table1": cmd_table1,
+    "fig6": cmd_fig6,
+    "pattern": cmd_pattern,
+    "domino": cmd_domino,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Checkpoint storage and scheduling.
+
+A checkpoint is the paper's Fig. 3 line 42 tuple — process image plus
+protocol metadata — with two simulator-specific additions that complete
+the "process image" under application-level checkpointing:
+
+* the library-level *unexpected message queue* (messages delivered but not
+  yet matched by a receive live in MPI buffers and are part of a
+  system-level image);
+* the collective-operation sequence counter (re-executed collectives must
+  reuse the tags of the original execution so that two rolled-back peers
+  match each other's replayed traffic).
+
+``CheckpointSchedule`` implements the *uncoordinated* checkpoint policies
+of the evaluation: independent periodic checkpoints with per-rank (or
+per-cluster, Section V-E-3) staggered offsets, and the random-time policy
+of Section V-E-2 that demonstrates why naive uncoordinated checkpointing
+rolls everyone back.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CheckpointError
+from .state import ProtocolState
+
+__all__ = ["Checkpoint", "CheckpointStore", "CheckpointSchedule"]
+
+
+@dataclass
+class Checkpoint:
+    """One process checkpoint; ``epoch`` is the epoch that begins here."""
+
+    rank: int
+    epoch: int
+    time: float
+    app_state: Any
+    coll_seq: int
+    unexpected: list[Any]
+    proto: ProtocolState
+
+    @property
+    def date(self) -> int:
+        """The process date at the restore point (start of ``epoch``)."""
+        return self.proto.date
+
+
+class CheckpointStore:
+    """Epoch-indexed stable storage for every rank's checkpoints."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self._by_rank: list[dict[int, Checkpoint]] = [dict() for _ in range(nprocs)]
+        self.checkpoints_taken = 0
+        self.checkpoints_collected = 0
+
+    def add(self, ckpt: Checkpoint) -> None:
+        if ckpt.epoch in self._by_rank[ckpt.rank]:
+            raise CheckpointError(
+                f"rank {ckpt.rank} already has a checkpoint for epoch {ckpt.epoch}"
+            )
+        self._by_rank[ckpt.rank][ckpt.epoch] = ckpt
+        self.checkpoints_taken += 1
+
+    def get(self, rank: int, epoch: int) -> Checkpoint:
+        try:
+            return self._by_rank[rank][epoch]
+        except KeyError:
+            raise CheckpointError(
+                f"no checkpoint for rank {rank} epoch {epoch} "
+                f"(have {sorted(self._by_rank[rank])})"
+            ) from None
+
+    def has(self, rank: int, epoch: int) -> bool:
+        return epoch in self._by_rank[rank]
+
+    def latest(self, rank: int) -> Checkpoint:
+        epochs = self._by_rank[rank]
+        if not epochs:
+            raise CheckpointError(f"rank {rank} has no checkpoint")
+        return epochs[max(epochs)]
+
+    def epochs(self, rank: int) -> list[int]:
+        return sorted(self._by_rank[rank])
+
+    def count(self) -> int:
+        return sum(len(d) for d in self._by_rank)
+
+    def discard_above(self, rank: int, epoch: int) -> int:
+        """Drop checkpoints of ``rank`` with an epoch above ``epoch``.
+
+        Called when ``rank`` rolls back to (the checkpoint beginning)
+        ``epoch``: later checkpoints belong to the abandoned execution
+        branch and re-execution will regenerate those epoch numbers.
+        """
+        epochs = self._by_rank[rank]
+        stale = [e for e in epochs if e > epoch]
+        for e in stale:
+            del epochs[e]
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def collect_garbage(self, min_epoch_by_rank: dict[int, int]) -> int:
+        """Delete checkpoints strictly below each rank's safe epoch.
+
+        Section III-A-4: if ``E`` is the smallest current epoch in the
+        application, checkpoints in an epoch less than ``E`` can be
+        deleted.  The caller computes the bound (a periodic global
+        operation in the paper); per-rank bounds let the caller be more
+        precise when clusters use disjoint epoch ranges.
+        """
+        removed = 0
+        for rank, bound in min_epoch_by_rank.items():
+            epochs = self._by_rank[rank]
+            for e in [e for e in epochs if e < bound]:
+                del epochs[e]
+                removed += 1
+        self.checkpoints_collected += removed
+        return removed
+
+
+@dataclass
+class CheckpointSchedule:
+    """Decides when a rank takes its next (uncoordinated) checkpoint.
+
+    ``interval`` is the per-rank checkpoint period in virtual seconds;
+    ``offset`` staggers ranks/clusters (the paper schedules clusters at
+    different times to smooth I/O bursts); ``jitter`` (for the random
+    policy of Section V-E-2) perturbs each period by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` from a seeded RNG.
+
+    The schedule is *not* part of the checkpointed state: a restored
+    process does not immediately re-checkpoint (BLCR-restored processes
+    inherit the host's notion of time, not the image's).
+    """
+
+    interval: float
+    offset: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+    max_checkpoints: int | None = None
+    _next_due: float = field(init=False)
+    _rng: random.Random = field(init=False, repr=False)
+    _taken: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._next_due = self.offset + self._period()
+
+    def _period(self) -> float:
+        if self.jitter:
+            return self.interval * (1.0 + self.jitter * (2 * self._rng.random() - 1.0))
+        return self.interval
+
+    def due(self, now: float) -> bool:
+        if self.max_checkpoints is not None and self._taken >= self.max_checkpoints:
+            return False
+        return now >= self._next_due
+
+    def mark_taken(self, now: float) -> None:
+        self._taken += 1
+        self._next_due = now + self._period()
+
+    @staticmethod
+    def never() -> "CheckpointSchedule":
+        """A schedule that never fires (forced checkpoints still work)."""
+        return CheckpointSchedule(interval=float("inf"))

@@ -1,0 +1,503 @@
+"""Fault-tolerance controller: wires the protocol into the simulator.
+
+The controller owns what, on a real cluster, is spread across the runtime
+environment: the checkpoint store (stable storage), the per-rank checkpoint
+schedules, the recovery process, failure detection and process restart.
+
+Failure orchestration
+---------------------
+On a fail-stop failure the controller
+
+1. kills the failed ranks (their execution and in-flight inbound traffic
+   are lost — the substrate purges the network),
+2. pauses the survivors and lets the network *drain* — every in-flight
+   application message and acknowledgement is delivered before recovery
+   bookkeeping starts.  This models a perfect failure detector plus
+   channel flush; it guarantees the collected ``SPE`` tables and ``NonAck``
+   sets are consistent (see DESIGN.md §5.3),
+3. restores each failed rank from its latest checkpoint and triggers the
+   paper's message flow: Rollback broadcast → SPE upload → recovery-line
+   computation → orphan notification → phase-gated replay (Figs. 3-4).
+
+Failures arriving while a recovery round is in flight are queued and
+handled as a subsequent round (the paper treats concurrent failures within
+a round; cascading failures across rounds compose because a recovered
+state is indistinguishable from a normal one).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ProtocolError, SimulationError
+from ..simmpi.failure import FailureInjector
+from ..simmpi.message import Envelope
+from ..simmpi.runtime import World
+from .checkpoint import Checkpoint, CheckpointSchedule, CheckpointStore
+from .protocol import CTL, SDProtocol, Status
+from .recovery import RecoveryProcess, RecoveryReport
+
+__all__ = ["ProtocolConfig", "FTController", "build_ft_world"]
+
+
+@dataclass
+class ProtocolConfig:
+    """Knobs for the protocol and its checkpointing policy.
+
+    ``cluster_of`` maps each rank to a cluster index; clusters receive
+    starting epochs separated by ``epoch_spacing`` (2 in the paper, so a
+    cluster checkpoint never equalises two clusters' epochs) and their
+    checkpoint schedules are staggered by ``cluster_stagger`` seconds.
+    """
+
+    checkpoint_interval: float | None = None
+    checkpoint_jitter: float = 0.0
+    checkpoint_seed: int = 0
+    cluster_of: list[int] | None = None
+    #: explicit cluster -> initial epoch map (e.g. from
+    #: :meth:`repro.core.clustering.Clustering.initial_epochs` after an
+    #: epoch reconfiguration); derived from ``epoch_spacing`` when absent
+    cluster_epochs: dict[int, int] | None = None
+    epoch_spacing: int = 2
+    cluster_stagger: float = 0.0
+    rank_stagger: float = 0.0
+    restart_delay: float = 0.0
+    #: watchdog period for the recovery stall-breaker (virtual seconds);
+    #: two consecutive ticks without progress trigger a replay flush
+    stall_timeout: float = 1e-3
+    #: skip deep app-state snapshots and checkpoint storage — only valid
+    #: for failure-free analysis runs (Table I methodology) where
+    #: checkpoints are never restored; epoch/SPE bookkeeping still runs
+    lightweight: bool = False
+    #: keep message payloads in NonAck/Logs (needed for replay); analysis
+    #: runs that never recover can disable it to save time and memory
+    retain_payloads: bool = True
+    max_checkpoints_per_rank: int | None = None
+    #: disable the epoch-crossing logging rule entirely.  This degrades the
+    #: protocol to *plain uncoordinated checkpointing*: every message goes
+    #: into SPE, so the recovery-line fix-point cascades freely — the
+    #: domino effect of Section V-E-2 becomes observable.
+    log_cross_epoch: bool = True
+    #: checkpoint I/O model (Section I's burst argument): writing a
+    #: checkpoint stalls the process for ``size / bandwidth`` seconds, and
+    #: with ``shared_storage`` concurrent writers serialise on one device —
+    #: which is what makes coordinated bursts expensive.  0 disables.
+    checkpoint_size_bytes: int = 0
+    storage_bandwidth: float = 1e9
+    shared_storage: bool = True
+
+    def cluster(self, rank: int) -> int:
+        return 0 if self.cluster_of is None else self.cluster_of[rank]
+
+    def n_clusters(self) -> int:
+        return 1 if self.cluster_of is None else max(self.cluster_of) + 1
+
+
+class FTController:
+    """Per-world fault-tolerance services shared by all rank protocols."""
+
+    def __init__(self, nprocs: int, config: ProtocolConfig | None = None):
+        self.nprocs = nprocs
+        self.config = config or ProtocolConfig()
+        if self.config.cluster_of is not None and len(self.config.cluster_of) != nprocs:
+            raise ProtocolError("cluster_of must map every rank")
+        self.store = CheckpointStore(nprocs)
+        self.protocols: list[SDProtocol] = [SDProtocol(r, self) for r in range(nprocs)]
+        self.recovery = RecoveryProcess(self)
+        self.recovery_rank = nprocs  # pseudo-rank on the network
+        self.world: World | None = None
+        self.injector: FailureInjector | None = None
+        self.round = 0
+        self._pending_failures: deque[list[int]] = deque()
+        self._drain_polls = 0
+        self._settle_polls = 0
+        self._round_in_progress = False
+        self._stall_sig: tuple = ()
+        self._stall_flushed_round = -1
+        self._watchdog_handle = None
+        self.stall_flushes = 0
+        self.stall_releases = 0
+        self.recovery_reports: list[RecoveryReport] = []
+        self._was_done: dict[int, bool] = {}
+        #: shared-storage device model: the next instant the device is free
+        self._storage_free_at = 0.0
+        #: accumulated per-rank time spent writing checkpoints
+        self.checkpoint_write_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # World wiring
+    # ------------------------------------------------------------------
+    def hook_for(self, rank: int) -> SDProtocol:
+        return self.protocols[rank]
+
+    def bind(self, world: World) -> None:
+        """Attach to the world: recovery pseudo-rank, injector, initial
+        checkpoints (every rank's epoch begins with one — the initial state
+        is the implicit first checkpoint, so 'restart from the beginning'
+        is always representable)."""
+        self.world = world
+        world.network.attach(self.recovery_rank, self.recovery.receive)
+        self.injector = FailureInjector(world, self.on_failures)
+        for rank in range(self.nprocs):
+            self.store_checkpoint(rank)
+
+    @property
+    def now(self) -> float:
+        assert self.world is not None
+        return self.world.engine.now
+
+    def initial_epoch(self, rank: int) -> int:
+        cluster = self.config.cluster(rank)
+        if self.config.cluster_epochs is not None:
+            return self.config.cluster_epochs[cluster]
+        return 1 + self.config.epoch_spacing * cluster
+
+    def make_schedule(self, rank: int) -> CheckpointSchedule:
+        cfg = self.config
+        if cfg.checkpoint_interval is None:
+            return CheckpointSchedule.never()
+        offset = (
+            cfg.cluster_stagger * cfg.cluster(rank)
+            + cfg.rank_stagger * rank
+        )
+        return CheckpointSchedule(
+            interval=cfg.checkpoint_interval,
+            offset=offset,
+            jitter=cfg.checkpoint_jitter,
+            seed=cfg.checkpoint_seed * 7919 + rank,
+            max_checkpoints=cfg.max_checkpoints_per_rank,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def store_checkpoint(self, rank: int) -> None:
+        """Capture (app snapshot, library queue, protocol state) for the
+        epoch that is beginning now on ``rank``."""
+        assert self.world is not None
+        proto = self.protocols[rank]
+        world = self.world
+        if self.config.lightweight:
+            # epoch bookkeeping already advanced (begin_epoch); analysis
+            # runs never restore, so skip the expensive state capture
+            self.store.checkpoints_taken += 1
+            world.tracer.on_mark("checkpoint", rank, world.engine.now,
+                                 (proto.state.epoch,))
+            return
+        app_state = world.programs[rank].snapshot()
+        unexpected = [copy.deepcopy(e) for e in world.procs[rank].unexpected]
+        ckpt = Checkpoint(
+            rank=rank,
+            epoch=proto.state.epoch,
+            time=world.engine.now,
+            app_state=app_state,
+            coll_seq=world.apis[rank]._coll_seq,
+            unexpected=unexpected,
+            proto=proto.state.checkpoint_copy(),
+        )
+        self.store.add(ckpt)
+        world.tracer.on_mark("checkpoint", rank, world.engine.now, (ckpt.epoch,))
+
+    def checkpoint_write_stall(self) -> float:
+        """Process-visible duration of the checkpoint write (I/O model).
+
+        With shared storage the device serialises writers: the stall spans
+        the queueing delay plus this rank's own transfer."""
+        cfg = self.config
+        if not cfg.checkpoint_size_bytes:
+            return 0.0
+        transfer = cfg.checkpoint_size_bytes / cfg.storage_bandwidth
+        if not cfg.shared_storage:
+            self.checkpoint_write_time += transfer
+            return transfer
+        start = max(self.now, self._storage_free_at)
+        end = start + transfer
+        self._storage_free_at = end
+        stall = end - self.now
+        self.checkpoint_write_time += stall
+        return stall
+
+    # ------------------------------------------------------------------
+    # Control-plane plumbing for the recovery process
+    # ------------------------------------------------------------------
+    def broadcast_control(self, tag: int, payload: dict[str, Any]) -> None:
+        assert self.world is not None
+        for rank in range(self.nprocs):
+            env = Envelope(src=self.recovery_rank, dst=rank, tag=tag,
+                           payload=copy.deepcopy(payload))
+            self.world.transmit_control(env)
+
+    # ------------------------------------------------------------------
+    # Failure orchestration
+    # ------------------------------------------------------------------
+    def inject_failure(self, time: float, rank: int) -> None:
+        assert self.injector is not None
+        self.injector.at(time, rank)
+
+    def inject_concurrent_failures(self, time: float, ranks: list[int]) -> None:
+        assert self.injector is not None
+        self.injector.concurrent(time, ranks)
+
+    def arm(self) -> None:
+        assert self.injector is not None
+        self.injector.arm()
+
+    def on_failures(self, ranks: list[int]) -> None:
+        # A round is "in progress" from the first kill until the settle
+        # poll confirms every process is Running again — strictly wider
+        # than ``recovery.active`` (which only covers Fig. 4's message
+        # exchange), because failures during the drain or settle windows
+        # must queue too.
+        if self._round_in_progress or self._pending_failures:
+            self._pending_failures.append(ranks)
+            return
+        self._start_round(ranks)
+
+    def _start_round(self, ranks: list[int]) -> None:
+        assert self.world is not None
+        world = self.world
+        self._round_in_progress = True
+        self.round += 1
+        self._was_done = {r: world.procs[r].done for r in range(self.nprocs)}
+        for r in ranks:
+            if world.procs[r].done:
+                world.note_rank_restarted()
+            world.procs[r].kill()
+        # Pause survivors (perfect failure detection) and drain the network
+        # so SPE/NonAck are quiescently consistent before recovery starts.
+        for rank in range(self.nprocs):
+            if rank not in ranks:
+                world.procs[rank].pause()
+        self._drain_polls = 0
+        self._poll_drain(ranks)
+
+    def _poll_drain(self, failed: list[int]) -> None:
+        assert self.world is not None
+        if self.world.network.in_flight_count() == 0:
+            self._begin_recovery(failed)
+            return
+        self._drain_polls += 1
+        if self._drain_polls > 1_000_000:
+            raise SimulationError("network failed to drain after a failure")
+        self.world.engine.schedule(1e-6, lambda: self._poll_drain(failed))
+
+    def _begin_recovery(self, failed: list[int]) -> None:
+        assert self.world is not None
+        self.recovery.begin_round(self.round, failed, self.now)
+        delay = self.config.restart_delay
+        for r in failed:
+            self.world.engine.schedule(delay, lambda rr=r: self._restart_failed(rr))
+        self._arm_stall_watchdog()
+
+    # ------------------------------------------------------------------
+    # Stall watchdog (cross-branch phase-skew rescue — DESIGN.md §5)
+    # ------------------------------------------------------------------
+    def _progress_signature(self) -> tuple:
+        assert self.world is not None
+        return (
+            self.recovery._next_ready,
+            self.world.network.messages_sent,
+            sum(p.messages_suppressed + p.messages_replayed for p in self.protocols),
+        )
+
+    def _arm_stall_watchdog(self) -> None:
+        assert self.world is not None
+        self._stall_sig = self._progress_signature()
+        round_no = self.round
+        self._watchdog_handle = self.world.engine.schedule(
+            self.config.stall_timeout, lambda: self._check_stall(round_no)
+        )
+
+    def _check_stall(self, round_no: int) -> None:
+        assert self.world is not None
+        if round_no != self.round or not self._round_in_progress:
+            return
+        sig = self._progress_signature()
+        if sig != self._stall_sig:
+            self._arm_stall_watchdog()
+            return
+        if self._stall_flushed_round != round_no:
+            # Step 1: phase skew across execution branches — release every
+            # pending replay (ordering-safe, see SDProtocol.flush_replays)
+            # and let the orphan countdown resume.
+            self._stall_flushed_round = round_no
+            self.stall_flushes += 1
+            for proto in self.protocols:
+                proto.flush_replays()
+            self._arm_stall_watchdog()
+            return
+        # Step 2: the wait cycle runs through a process release (an orphan's
+        # re-sender needs traffic from a still-gated process).  Releasing a
+        # gated process early is ordering-safe once replays are flushed:
+        # everything a rolled-back peer needs from it is already on the
+        # wire, so its re-executed/new sends follow them in channel order.
+        # Release the lowest-registered one per tick (mirrors the phase
+        # ordering the notifications would have used).
+        stuck = [p for p in self.protocols if p.status is not Status.RUNNING]
+        if not stuck:
+            raise ProtocolError(
+                f"recovery round {round_no} stalled with every process "
+                f"running — outstanding orphans will never drain"
+            )
+        target = min(
+            stuck,
+            key=lambda p: (
+                p._reported_phase if p._reported_phase is not None else 1 << 30,
+                p.rank,
+            ),
+        )
+        target._reported_phase = None
+        target.set_running()
+        self.stall_releases += 1
+        self._arm_stall_watchdog()
+
+    def _restart_failed(self, rank: int) -> None:
+        """Fig. 3 lines 47-52: restore the failed rank from its latest
+        checkpoint, then let its protocol broadcast Rollback and upload SPE."""
+        latest = self.store.latest(rank)
+        self._install_checkpoint(rank, latest, was_killed=True)
+        self.protocols[rank].begin_recovery_as_failed(self.round)
+
+    def restore_rank(self, rank: int, epoch: int) -> None:
+        """Roll a live rank back to the checkpoint beginning ``epoch``
+        (recovery-line application, Fig. 3 lines 59-61)."""
+        if self.config.lightweight:
+            raise ProtocolError(
+                "cannot restore checkpoints in lightweight mode (no app snapshots)"
+            )
+        ckpt = self.store.get(rank, epoch)
+        self._install_checkpoint(rank, ckpt, was_killed=False)
+
+    def _install_checkpoint(self, rank: int, ckpt: Checkpoint, was_killed: bool) -> None:
+        assert self.world is not None
+        if self.config.lightweight:
+            raise ProtocolError(
+                "cannot restore checkpoints in lightweight mode (no app snapshots)"
+            )
+        world = self.world
+        proc = world.procs[rank]
+        if not was_killed:
+            if self._was_done.get(rank):
+                world.note_rank_restarted()
+                self._was_done[rank] = False
+            proc.reincarnate()
+        proc.alive = True
+        program = world.programs[rank]
+        program.restore(ckpt.app_state)
+        world.apis[rank]._coll_seq = ckpt.coll_seq
+        proc.unexpected.extend(copy.deepcopy(e) for e in ckpt.unexpected)
+        self.store.discard_above(rank, ckpt.epoch)
+        proto = self.protocols[rank]
+        proto.adopt_state(ckpt.proto.checkpoint_copy())
+        proto.status = Status.ROLLED_BACK
+        proc.pause()
+        proc.start(program.run(world.apis[rank]))
+        world.tracer.on_mark("restore", rank, world.engine.now, (ckpt.epoch,))
+
+    def on_recovery_complete(self, report: RecoveryReport) -> None:
+        """The recovery process notified every phase.  Notifications may
+        still be in flight; a queued failure round must not start before
+        every process is Running and every replay list drained, otherwise
+        the new round's bookkeeping would race the old round's messages."""
+        self.recovery_reports.append(report)
+        self._settle_polls = 0
+        self._poll_settled()
+
+    def _poll_settled(self) -> None:
+        assert self.world is not None
+        settled = all(
+            p.status is Status.RUNNING and not p.replay_logged and not p.replay_nonack
+            for p in self.protocols
+        )
+        if not settled:
+            self._settle_polls += 1
+            if self._settle_polls > 1_000_000:
+                blocked = [p.describe() for p in self.protocols
+                           if p.status is not Status.RUNNING]
+                raise ProtocolError(
+                    "recovery round never settled; stuck protocols: "
+                    + "; ".join(blocked)
+                )
+            self.world.engine.schedule(1e-6, self._poll_settled)
+            return
+        self._round_in_progress = False
+        if self._watchdog_handle is not None:
+            # the round settled: a pending watchdog tick would only keep the
+            # event queue alive (and inflate measured durations)
+            self._watchdog_handle.cancel()
+            self._watchdog_handle = None
+        if self._pending_failures:
+            ranks = self._pending_failures.popleft()
+            alive = [r for r in ranks if self.world.procs[r].alive]
+            if alive:
+                self._start_round(alive)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (Section III-A-4)
+    # ------------------------------------------------------------------
+    def collect_garbage(self) -> dict[str, int]:
+        """Delete checkpoints and logged messages below the smallest
+        current epoch (the paper's periodic global operation)."""
+        min_epoch = min(p.state.epoch for p in self.protocols)
+        removed_ckpts = self.store.collect_garbage(
+            {r: min_epoch for r in range(self.nprocs)}
+        )
+        removed_logs = 0
+        removed_obs = 0
+        for proto in self.protocols:
+            before = len(proto.state.logs)
+            proto.state.logs = [
+                lm for lm in proto.state.logs if lm.epoch_recv >= min_epoch
+            ]
+            removed_logs += before - len(proto.state.logs)
+            # observation-table entries below the bound can never lift a
+            # replay filter above any future recovery line (which is >= the
+            # bound), so they are dead weight
+            for dst, obs in proto._ack_obs.items():
+                stale = [d for d, er in obs.items() if er < min_epoch]
+                for d in stale:
+                    del obs[d]
+                removed_obs += len(stale)
+        return {
+            "min_epoch": min_epoch,
+            "checkpoints_removed": removed_ckpts,
+            "logs_removed": removed_logs,
+            "observations_removed": removed_obs,
+        }
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def logging_stats(self) -> dict[str, float]:
+        """Aggregate logging statistics (Table I inputs)."""
+        assert self.world is not None
+        logged = sum(p.messages_logged for p in self.protocols)
+        logged_bytes = sum(p.bytes_logged for p in self.protocols)
+        total = self.world.tracer.total_app_messages()
+        return {
+            "messages_logged": logged,
+            "bytes_logged": logged_bytes,
+            "messages_total": total,
+            "log_fraction": (logged / total) if total else 0.0,
+        }
+
+
+def build_ft_world(
+    nprocs: int,
+    program_factory: Callable[[int, int], Any],
+    config: ProtocolConfig | None = None,
+    **world_kwargs: Any,
+) -> tuple[World, FTController]:
+    """Convenience constructor: world + controller, fully wired and with
+    every rank's initial checkpoint taken.  Call ``world.launch()`` (and
+    ``controller.arm()`` if failures were injected) before ``world.run()``.
+    """
+    controller = FTController(nprocs, config)
+    world = World(
+        nprocs, program_factory, hook_factory=controller.hook_for, **world_kwargs
+    )
+    controller.bind(world)
+    return world, controller

@@ -1,0 +1,230 @@
+"""Sender-based logging with the paper's acknowledgement optimization
+(Section V-A, Fig. 5).
+
+The protocol requires every message to be acknowledged with its reception
+epoch so the sender can decide what to log — but an explicit ack per
+message would wreck small-message latency.  The paper's MPICH2
+implementation avoids that on each FIFO channel:
+
+* **small messages** (≤ eager threshold) are *copied by default* at the
+  sender, so ``send()`` returns immediately without an acknowledgement;
+* each message carries a channel **sequence number (ssn)**; receivers
+  **piggyback** on their own traffic the ssn of the last message received
+  (plus, here, their current epoch), letting the sender discard the
+  default copies of messages known to be received without logging;
+* only the **first message per (channel, epoch) that must be logged** is
+  acknowledged explicitly; the sender then marks every following message
+  of the same epoch *already logged* (the copy goes straight to the log,
+  no ack needed) until its epoch changes;
+* if too many messages pile up unacknowledged (the peer never talks
+  back), the sender **requests** an explicit acknowledgement;
+* **large messages** cannot afford the default copy, so they are always
+  acknowledged explicitly — except when already marked logged.
+
+This module implements both channel endpoints of that state machine.  The
+simulated protocol (:mod:`repro.core.protocol`) keeps per-message explicit
+acknowledgements for state-machine clarity; this component reproduces the
+*implementation's* behaviour — message counts, copy counts, log contents —
+and is what the Fig. 6 latency accounting and the ack-traffic ablation
+build on.  Both produce identical logging decisions (tested).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ProtocolError
+
+__all__ = ["ChannelMessage", "SenderChannel", "ReceiverChannel", "AckStats"]
+
+#: messages at or below this size are copied by default (bytes)
+DEFAULT_EAGER_THRESHOLD = 1024
+#: request an explicit ack when this many sends are unconfirmed
+DEFAULT_MAX_UNACKED = 64
+
+
+@dataclass(frozen=True)
+class ChannelMessage:
+    """What travels on the channel, as far as the ack logic cares."""
+
+    ssn: int
+    size: int
+    epoch_send: int
+    payload: Any = None
+    already_logged: bool = False
+    piggyback_ssn: int = 0
+    piggyback_epoch: int = 0
+
+
+@dataclass
+class AckStats:
+    explicit_acks: int = 0
+    ack_requests: int = 0
+    copies_made: int = 0
+    copies_dropped: int = 0
+    piggybacks_applied: int = 0
+
+
+@dataclass
+class _Retained:
+    ssn: int
+    size: int
+    epoch_send: int
+    payload: Any
+
+
+class SenderChannel:
+    """Sender endpoint of one FIFO channel under the Fig. 5 optimization."""
+
+    def __init__(self, eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+                 max_unacked: int = DEFAULT_MAX_UNACKED):
+        self.eager_threshold = eager_threshold
+        self.max_unacked = max_unacked
+        self.epoch = 1
+        self._ssn = 0
+        #: default copies awaiting confirmation, in ssn order
+        self.retained: list[_Retained] = []
+        #: large messages awaiting an explicit ack, in ssn order
+        self.awaiting_ack: list[_Retained] = []
+        #: the epoch for which "everything is logged until my epoch changes"
+        self._logged_mode_epoch: int | None = None
+        #: reception epoch reported by the log-ack that opened logged mode
+        self._log_epoch_recv = 0
+        #: the sender-based log: (ssn, epoch_send, epoch_recv, payload, size)
+        self.log: list[tuple[int, int, int, Any, int]] = []
+        #: confirmed received without logging: (ssn, epoch_send, epoch_recv)
+        self.confirmed: list[tuple[int, int, int]] = []
+        self.stats = AckStats()
+
+    # ------------------------------------------------------------------
+    def advance_epoch(self) -> None:
+        """A checkpoint was taken: already-logged marking stops applying."""
+        self.epoch += 1
+        self._logged_mode_epoch = None
+
+    @property
+    def unconfirmed(self) -> int:
+        return len(self.retained) + len(self.awaiting_ack)
+
+    def send(self, size: int, payload: Any = None) -> tuple[ChannelMessage, bool]:
+        """Register a send; returns ``(message, blocks_for_ack)``.
+
+        ``blocks_for_ack`` is True when the send cannot complete until an
+        explicit acknowledgement returns (large message, not marked
+        already-logged) — the cost the paper measures in Fig. 6.
+        """
+        self._ssn += 1
+        already_logged = self._logged_mode_epoch == self.epoch
+        if already_logged:
+            # the copy goes straight to the log; the reception epoch is the
+            # one the first explicit log-ack of this epoch reported
+            self.log.append((self._ssn, self.epoch, self._log_epoch_recv,
+                             _copy.deepcopy(payload), size))
+            self.stats.copies_made += 1
+            msg = ChannelMessage(self._ssn, size, self.epoch, payload,
+                                 already_logged=True)
+            return msg, False
+        entry = _Retained(self._ssn, size, self.epoch, _copy.deepcopy(payload))
+        if size <= self.eager_threshold:
+            self.retained.append(entry)
+            self.stats.copies_made += 1
+            blocking = False
+        else:
+            self.awaiting_ack.append(entry)
+            blocking = True
+        return ChannelMessage(self._ssn, size, self.epoch, payload), blocking
+
+    def needs_ack_request(self) -> bool:
+        return self.unconfirmed > self.max_unacked
+
+    def make_ack_request(self) -> None:
+        self.stats.ack_requests += 1
+
+    # ------------------------------------------------------------------
+    def on_explicit_ack(self, ssn: int, epoch_recv: int) -> None:
+        """An explicit acknowledgement for message ``ssn`` arrived.
+
+        If it reveals an epoch crossing it is the *first logged message* of
+        this (channel, epoch): everything retained from the same epoch up
+        to ``ssn`` is logged, and the channel enters already-logged mode
+        until the sender's epoch changes (Fig. 5, m4/m5).
+        """
+        self.stats.explicit_acks += 1
+        entry = self._pop(ssn)
+        if entry.epoch_send < epoch_recv:
+            self.log.append((entry.ssn, entry.epoch_send, epoch_recv,
+                             entry.payload, entry.size))
+            # earlier same-epoch retained messages were necessarily also
+            # received in epoch_recv or earlier... their state is resolved
+            # by piggybacks; the MODE only affects subsequent sends:
+            if entry.epoch_send == self.epoch:
+                self._logged_mode_epoch = self.epoch
+                self._log_epoch_recv = epoch_recv
+        else:
+            self.confirmed.append((entry.ssn, entry.epoch_send, epoch_recv))
+
+    def on_piggyback(self, last_ssn: int, receiver_epoch: int) -> None:
+        """The peer piggybacked "received up to ``last_ssn``, my epoch is
+        ``receiver_epoch``": resolve every retained copy up to that ssn."""
+        self.stats.piggybacks_applied += 1
+        resolved = [r for r in self.retained if r.ssn <= last_ssn]
+        self.retained = [r for r in self.retained if r.ssn > last_ssn]
+        for r in resolved:
+            if r.epoch_send < receiver_epoch:
+                # conservative: the receiver may have crossed an epoch
+                # after receiving; logging extra is always safe
+                self.log.append((r.ssn, r.epoch_send, receiver_epoch,
+                                 r.payload, r.size))
+            else:
+                self.confirmed.append((r.ssn, r.epoch_send, receiver_epoch))
+                self.stats.copies_dropped += 1
+
+    def _pop(self, ssn: int) -> _Retained:
+        for bucket in (self.awaiting_ack, self.retained):
+            for i, r in enumerate(bucket):
+                if r.ssn == ssn:
+                    return bucket.pop(i)
+        raise ProtocolError(f"explicit ack for unknown ssn {ssn}")
+
+
+class ReceiverChannel:
+    """Receiver endpoint: decides when an explicit ack is required and
+    what to piggyback on the application's reverse traffic."""
+
+    def __init__(self, eager_threshold: int = DEFAULT_EAGER_THRESHOLD):
+        self.eager_threshold = eager_threshold
+        self.epoch = 1
+        self.last_ssn = 0
+        #: sender epochs for which the first logged message was acked
+        self._log_acked_epochs: set[int] = set()
+        self.stats = AckStats()
+
+    def advance_epoch(self) -> None:
+        self.epoch += 1
+
+    def deliver(self, msg: ChannelMessage) -> tuple[int, int] | None:
+        """Process an inbound message; returns ``(ssn, epoch_recv)`` when an
+        explicit acknowledgement must be sent, else ``None``."""
+        if msg.ssn != self.last_ssn + 1:
+            raise ProtocolError(
+                f"channel FIFO violated: got ssn {msg.ssn} after {self.last_ssn}"
+            )
+        self.last_ssn = msg.ssn
+        if msg.already_logged:
+            return None
+        crossing = msg.epoch_send < self.epoch
+        if crossing and msg.epoch_send not in self._log_acked_epochs:
+            # first message of this sender-epoch that must be logged
+            self._log_acked_epochs.add(msg.epoch_send)
+            self.stats.explicit_acks += 1
+            return (msg.ssn, self.epoch)
+        if msg.size > self.eager_threshold:
+            self.stats.explicit_acks += 1
+            return (msg.ssn, self.epoch)
+        return None
+
+    def piggyback(self) -> tuple[int, int]:
+        """Data to attach to the next application message sent to the peer."""
+        return (self.last_ssn, self.epoch)

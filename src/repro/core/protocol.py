@@ -1,0 +1,538 @@
+"""The application-process protocol — the paper's Fig. 3 algorithm.
+
+One :class:`SDProtocol` instance attaches to each simulated rank as a
+:class:`~repro.simmpi.process.ProtocolHook`.  It implements, during
+failure-free execution:
+
+* date/epoch/phase bookkeeping on every send, delivery and checkpoint
+  (Fig. 3 lines 13-28, 41-45);
+* message acknowledgement and the epoch-crossing logging rule — a message
+  sent in epoch ``Es`` and acknowledged from epoch ``Er > Es`` is copied
+  into the sender-based log (lines 34-39);
+* ``SPE``/``RPP`` dependency tracking used by recovery.
+
+And during recovery:
+
+* rollback notifications, SPE upload, recovery-line application (lines
+  47-68);
+* duplicate suppression by sender date, with last-orphan-of-phase
+  detection and ``NoOrphanPhase`` countdown (lines 19-20, 29-32);
+* ``ReadyPhase``-gated replay of logged and unacknowledged messages and
+  the ``Blocked``/``RolledBack`` → ``Running`` status transitions (lines
+  70-74).
+
+The process-facing gating (a non-``Running`` process must not emit
+application messages, line 14) is realised by pausing the simulated
+process; replayed messages bypass the application entirely (they are sent
+from the log by the protocol layer).
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from typing import Any, TYPE_CHECKING
+
+from ..errors import ProtocolError
+from ..simmpi.message import CONTROL_TAG_BASE, Envelope
+from ..simmpi.process import ProtocolHook
+from .state import LoggedMessage, PendingAck, ProtocolState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .controller import FTController
+
+__all__ = ["Status", "SDProtocol", "CTL"]
+
+
+class CTL:
+    """Control-plane tags (all below :data:`CONTROL_TAG_BASE`)."""
+
+    ACK = CONTROL_TAG_BASE - 1
+    ROLLBACK = CONTROL_TAG_BASE - 2
+    SPE_UPLOAD = CONTROL_TAG_BASE - 3
+    RECOVERY_LINE = CONTROL_TAG_BASE - 4
+    ORPHAN_NOTIF = CONTROL_TAG_BASE - 5
+    NO_ORPHAN = CONTROL_TAG_BASE - 6
+    READY_PHASE = CONTROL_TAG_BASE - 7
+
+
+class Status(enum.Enum):
+    """Process status (Fig. 3 line 1)."""
+
+    RUNNING = "Running"
+    BLOCKED = "Blocked"
+    ROLLED_BACK = "RolledBack"
+
+
+class SDProtocol(ProtocolHook):
+    """Per-rank protocol engine for send-deterministic uncoordinated
+    checkpointing with partial message logging."""
+
+    def __init__(self, rank: int, controller: "FTController"):
+        self.rank = rank
+        self.controller = controller
+        cfg = controller.config
+        self.state = ProtocolState.initial(controller.initial_epoch(rank))
+        self.status = Status.RUNNING
+        self.schedule = controller.make_schedule(rank)
+        # --- recovery-round scratch state ------------------------------
+        self.round = 0
+        self._spe_uploaded_round = 0
+        #: phase -> {src: date of the last orphan expected from src}
+        self.orph_expected: dict[int, dict[int, int]] = {}
+        #: phase -> outstanding orphan-sender count (paper's OrphCount)
+        self.orph_count: dict[int, int] = {}
+        #: phase -> logged messages to replay when the phase becomes ready
+        self.replay_logged: dict[int, list[LoggedMessage]] = {}
+        #: phase -> unacknowledged messages to replay (in-flight loss cover)
+        self.replay_nonack: dict[int, list[PendingAck]] = {}
+        #: phase this process was registered under in the current recovery
+        #: round (None outside recovery) — see :meth:`_on_ready_phase`
+        self._reported_phase: int | None = None
+        #: monotone reception knowledge: dst -> {send date -> max reception
+        #: epoch ever acknowledged}.  Lives OUTSIDE the checkpointed state:
+        #: a rollback restores pre-refresh log/SPE entries, and without
+        #: this table a later recovery would trust their stale reception
+        #: epochs (see DESIGN.md §7.2 — reception epochs are branch-local,
+        #: send dates are branch-invariant, and lifting by the observed
+        #: maximum is always safe: over-replay is absorbed by duplicate
+        #: suppression, over-rollback by re-execution).
+        self._ack_obs: dict[int, dict[int, int]] = {}
+        # --- statistics -------------------------------------------------
+        self.messages_logged = 0
+        self.bytes_logged = 0
+        self.messages_suppressed = 0
+        self.messages_replayed = 0
+        self.acks_sent = 0
+
+    # ------------------------------------------------------------------
+    # Control-plane plumbing
+    # ------------------------------------------------------------------
+    def _ctl(self, dst: int, tag: int, payload: dict[str, Any]) -> None:
+        env = Envelope(src=self.rank, dst=dst, tag=tag, payload=payload)
+        self.world.transmit_control(env)
+
+    def _ctl_to_recovery(self, tag: int, payload: dict[str, Any]) -> None:
+        self._ctl(self.controller.recovery_rank, tag, payload)
+
+    # ------------------------------------------------------------------
+    # Failure-free send path (Fig. 3 lines 13-17)
+    # ------------------------------------------------------------------
+    def send_allowed(self) -> bool:
+        return self.status is Status.RUNNING
+
+    def on_app_send(self, env: Envelope) -> None:
+        st = self.state
+        date = st.next_date()
+        env.meta["date"] = date
+        env.meta["epoch"] = st.epoch
+        env.meta["phase"] = st.phase
+        payload = (
+            copy.deepcopy(env.payload)
+            if self.controller.config.retain_payloads
+            else None
+        )
+        st.non_ack.append(
+            PendingAck(
+                dst=env.dst,
+                tag=env.tag,
+                payload=payload,
+                size=env.size,
+                date=date,
+                epoch_send=st.epoch,
+                phase_send=st.phase,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path (Fig. 3 lines 19-32)
+    # ------------------------------------------------------------------
+    def on_message(self, env: Envelope) -> bool:
+        st = self.state
+        date = env.meta["date"]
+        if st.is_duplicate(env.src, date):
+            # A re-emission during recovery of a message this process still
+            # holds the effects of.  Check whether it is the last expected
+            # orphan of one of our phases (lines 29-32).
+            self.messages_suppressed += 1
+            self._orphan_countdown(env.src, date)
+            self._send_ack(env, duplicate=True)
+            return False
+        # Fresh message: phase propagation (lines 21-24).  A message coming
+        # from an older epoch than ours was (or will be) logged by its
+        # sender — the causality path is broken, bump past its phase.
+        msg_phase = env.meta["phase"]
+        if env.meta["epoch"] < st.epoch:
+            st.phase = max(st.phase, msg_phase + 1)
+        else:
+            st.phase = max(st.phase, msg_phase)
+        st.record_rpp(env.src, date)
+        st.delivered_count += 1
+        self._send_ack(env, duplicate=False)
+        return True
+
+    def _send_ack(self, env: Envelope, duplicate: bool) -> None:
+        self.acks_sent += 1
+        self._ctl(
+            env.src,
+            CTL.ACK,
+            {
+                "date": env.meta["date"],
+                "epoch_send": env.meta["epoch"],
+                "epoch_recv": self.state.epoch,
+                "dup": duplicate,
+            },
+        )
+
+    def _orphan_countdown(self, src: int, date: int) -> None:
+        # One NoOrphan notification per drained (phase, sender) pair: the
+        # recovery process aggregates per-sender so it can remap stale
+        # phase buckets recorded in an abandoned execution branch (see
+        # RecoveryProcess._aggregate_notifications).
+        for phase, expected in self.orph_expected.items():
+            if expected.get(src) == date:
+                del expected[src]
+                self.orph_count[phase] -= 1
+                if self.orph_count[phase] < 0:
+                    raise ProtocolError(
+                        f"rank {self.rank}: orphan count for phase {phase} went negative"
+                    )
+                self._ctl_to_recovery(
+                    CTL.NO_ORPHAN,
+                    {"phase": phase, "sender": src, "round": self.round},
+                )
+                return
+
+    # ------------------------------------------------------------------
+    # Acknowledgement handling → logging decision (Fig. 3 lines 34-39)
+    # ------------------------------------------------------------------
+    def _on_ack(self, src: int, payload: dict[str, Any]) -> None:
+        st = self.state
+        date = payload["date"]
+        epoch_recv = payload["epoch_recv"]
+        obs = self._ack_obs.setdefault(src, {})
+        if epoch_recv > obs.get(date, 0):
+            obs[date] = epoch_recv
+        entry = None
+        for i, pa in enumerate(st.non_ack):
+            if pa.dst == src and pa.date == date:
+                entry = st.non_ack.pop(i)
+                break
+        if entry is None:
+            # No NonAck record: either the send was rolled away with a
+            # restored checkpoint, or this acknowledges a log/duplicate
+            # re-delivery.  A re-delivery in a *new* execution branch can
+            # land in a later epoch than the abandoned branch's reception —
+            # refresh the bookkeeping monotonically (a too-high reception
+            # epoch only over-replays/over-rolls-back, never loses data).
+            for lm in st.logs:
+                if lm.dst == src and lm.date == date:
+                    lm.epoch_recv = max(lm.epoch_recv, epoch_recv)
+                    return
+            epoch_send = payload.get("epoch_send")
+            if epoch_send is not None and not (
+                self.controller.config.log_cross_epoch and epoch_send < epoch_recv
+            ):
+                st.record_spe(src, epoch_send, epoch_recv)
+            return
+        if self.controller.config.log_cross_epoch and entry.epoch_send < epoch_recv:
+            for lm in st.logs:
+                if lm.dst == entry.dst and lm.date == entry.date:
+                    # replayed NonAck entry re-acked: refresh, don't duplicate
+                    lm.epoch_recv = max(lm.epoch_recv, epoch_recv)
+                    return
+            st.logs.append(
+                LoggedMessage(
+                    dst=entry.dst,
+                    tag=entry.tag,
+                    payload=entry.payload,
+                    size=entry.size,
+                    date=entry.date,
+                    epoch_send=entry.epoch_send,
+                    phase_send=entry.phase_send,
+                    epoch_recv=epoch_recv,
+                )
+            )
+            self.messages_logged += 1
+            self.bytes_logged += entry.size
+        else:
+            st.record_spe(entry.dst, entry.epoch_send, epoch_recv)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (Fig. 3 lines 41-45)
+    # ------------------------------------------------------------------
+    def checkpoint_due(self) -> bool:
+        return self.schedule.due(self.world.engine.now)
+
+    def on_checkpoint(self) -> float:
+        self.schedule.mark_taken(self.world.engine.now)
+        self.state.begin_epoch()
+        self.controller.store_checkpoint(self.rank)
+        return self.controller.checkpoint_write_stall()
+
+    # ------------------------------------------------------------------
+    # Recovery: notifications and replay (Fig. 3 lines 47-74)
+    # ------------------------------------------------------------------
+    def on_control(self, env: Envelope) -> None:
+        tag, payload = env.tag, env.payload
+        if tag == CTL.ACK:
+            self._on_ack(env.src, payload)
+        elif tag == CTL.ROLLBACK:
+            self._on_rollback_notice(payload)
+        elif tag == CTL.RECOVERY_LINE:
+            self._on_recovery_line(payload)
+        elif tag == CTL.READY_PHASE:
+            self._on_ready_phase(payload)
+        else:
+            raise ProtocolError(f"rank {self.rank}: unexpected control tag {tag}")
+
+    def begin_recovery_as_failed(self, round_no: int) -> None:
+        """Called by the controller after this (failed) rank was restored
+        from its latest checkpoint: broadcast Rollback and upload SPE
+        (Fig. 3 lines 47-52)."""
+        self.round = round_no
+        self.status = Status.ROLLED_BACK
+        for peer in range(self.controller.nprocs):
+            if peer != self.rank:
+                self._ctl(
+                    peer,
+                    CTL.ROLLBACK,
+                    {"epoch": self.state.epoch, "date": self.state.date, "round": round_no},
+                )
+        self._ctl_to_recovery(
+            CTL.ROLLBACK,
+            {"epoch": self.state.epoch, "date": self.state.date, "round": round_no},
+        )
+        self._upload_spe(round_no)
+
+    def _on_rollback_notice(self, payload: dict[str, Any]) -> None:
+        round_no = payload["round"]
+        if round_no > self.round:
+            self.round = round_no
+        if self.status is Status.RUNNING:
+            self.status = Status.BLOCKED
+            self.proc.pause()
+        self._upload_spe(round_no)
+
+    def _upload_spe(self, round_no: int) -> None:
+        if self._spe_uploaded_round >= round_no:
+            return  # one upload per recovery round (lines 54-56)
+        self._spe_uploaded_round = round_no
+        self._ctl_to_recovery(
+            CTL.SPE_UPLOAD,
+            {
+                "spe": self.state.spe_export(),
+                "epoch": self.state.epoch,
+                "date": self.state.date,
+                "round": round_no,
+            },
+        )
+
+    def _on_recovery_line(self, payload: dict[str, Any]) -> None:
+        """Fig. 3 lines 58-68: maybe roll back further, then derive orphan
+        expectations and replay lists and notify the recovery process."""
+        rl: dict[int, tuple[int, int]] = payload["rl"]
+        round_no = payload["round"]
+        mine = rl.get(self.rank)
+        # A recovery-line entry at our *current* epoch still demands a
+        # rollback (restore the checkpoint that begins it and re-execute
+        # the interval) — unless we are a freshly restored failed process
+        # already sitting exactly at that point.
+        needs_restore = mine is not None and (
+            mine[0] < self.state.epoch
+            or (self.status is not Status.ROLLED_BACK and mine[0] == self.state.epoch)
+        )
+        if needs_restore:
+            # Roll back to the prescribed epoch (controller swaps program,
+            # protocol state and library queues from the checkpoint store).
+            self.controller.restore_rank(self.rank, mine[0])
+            self.status = Status.ROLLED_BACK
+            self.round = round_no
+        st = self.state
+        # Orphan expectations (lines 62-64): receptions recorded after the
+        # sender's restart point are orphans; the last one per (phase,
+        # sender) is identified by its date.
+        self.orph_expected = {}
+        self.orph_count = {}
+        for phase, per_src in st.rpp.items():
+            for src, date in per_src.items():
+                if src in rl and date > rl[src][1]:
+                    self.orph_expected.setdefault(phase, {})[src] = date
+        for phase, expected in self.orph_expected.items():
+            self.orph_count[phase] = len(expected)
+        # Replay lists (lines 65-67): logged messages whose reception was
+        # rolled back, plus unacknowledged messages to rolled-back peers
+        # (covers messages lost in flight with the failed process).
+        #
+        # Phase lifting: entries toward one destination may carry phases
+        # recorded in different execution branches, which can invert the
+        # channel's date order (a later message in an earlier phase).  The
+        # receiver matches by (source, tag) FIFO, so per-channel emission
+        # MUST follow date order; we lift each entry's replay phase to the
+        # running maximum along its channel's date order (delaying a replay
+        # is always safe; the gating only ever requires "not before").
+        per_dst: dict[int, list[tuple[int, bool, Any]]] = {}
+        for lm in st.logs:
+            if lm.dst in rl and lm.epoch_recv >= rl[lm.dst][0]:
+                per_dst.setdefault(lm.dst, []).append((lm.date, False, lm))
+        for pa in st.non_ack:
+            if pa.dst in rl:
+                per_dst.setdefault(pa.dst, []).append((pa.date, True, pa))
+        self.replay_logged = {}
+        self.replay_nonack = {}
+        for dst, entries in per_dst.items():
+            entries.sort(key=lambda e: e[0])
+            running = 0
+            for _date, relog, m in entries:
+                running = max(running, m.phase_send)
+                bucket = self.replay_nonack if relog else self.replay_logged
+                bucket.setdefault(running, []).append(m)
+        log_phases = sorted(set(self.replay_logged) | set(self.replay_nonack))
+        # Freeze the phase we are registered under: fresh messages from
+        # already-released senders may legitimately bump our phase before
+        # our ReadyPhase arrives, so the release test below compares against
+        # the *reported* phase, not the live one.
+        self._reported_phase = st.phase
+        orph_entries = [
+            (phase, src)
+            for phase, expected in sorted(self.orph_expected.items())
+            for src in sorted(expected)
+        ]
+        self._ctl_to_recovery(
+            CTL.ORPHAN_NOTIF,
+            {
+                "status": self.status.value,
+                "phase": st.phase,
+                "orph_entries": orph_entries,
+                "log_phases": log_phases,
+                "round": round_no,
+            },
+        )
+
+    def _on_ready_phase(self, payload: dict[str, Any]) -> None:
+        """Fig. 3 lines 70-74: replay this phase's logged/unacked messages
+        and unblock if the status condition is met."""
+        phase = payload["phase"]
+        # Emit this phase's replays in date order (per-channel FIFO of the
+        # original execution).  EVERY replay re-enters the NonAck set until
+        # its (fresh or duplicate) acknowledgement returns: a replay is an
+        # unacknowledged send, and if the next failure purges it in flight
+        # the NonAck coverage of the following round re-sends it — a log
+        # entry alone would not (its recorded reception epoch belongs to
+        # the branch that never received this copy; DESIGN.md §7.2).
+        batch: list[tuple[int, Any]] = [
+            (lm.date, lm) for lm in self.replay_logged.pop(phase, [])
+        ] + [
+            (pa.date, pa) for pa in self.replay_nonack.pop(phase, [])
+        ]
+        for _date, m in sorted(batch, key=lambda e: e[0]):
+            self._replay(m.dst, m.tag, m.payload, m.size, m.date, m.epoch_send,
+                         m.phase_send, relog=True)
+        reported = self._reported_phase
+        if reported is None:
+            return
+        if (self.status is Status.ROLLED_BACK and phase >= reported - 1) or (
+            self.status is Status.BLOCKED and phase >= reported
+        ):
+            self._reported_phase = None
+            self.set_running()
+
+    def set_running(self) -> None:
+        self.status = Status.RUNNING
+        self.proc.unpause()
+
+    def flush_replays(self) -> int:
+        """Emit every pending replay immediately, in phase order.
+
+        Stall-breaker for cross-branch phase skew (see DESIGN.md §5 and the
+        controller's watchdog): after earlier recoveries, a replay can be
+        registered at a phase above an orphan whose drain needs this very
+        replay's receiver to make progress.  Flushing is ordering-safe: a
+        process only runs once its replay lists are empty, so these
+        messages always precede the sender's future traffic per channel,
+        and within the flush phases go out in ascending order.
+        """
+        entries: list[tuple[int, Any]] = []
+        for msgs in self.replay_logged.values():
+            entries.extend((lm.date, lm) for lm in msgs)
+        for msgs in self.replay_nonack.values():
+            entries.extend((pa.date, pa) for pa in msgs)
+        self.replay_logged = {}
+        self.replay_nonack = {}
+        # Dates are this sender's send-sequence numbers, so date order IS
+        # the original per-channel emission order.  relog=True throughout —
+        # see _on_ready_phase.
+        for _date, m in sorted(entries, key=lambda e: e[0]):
+            self._replay(m.dst, m.tag, m.payload, m.size, m.date,
+                         m.epoch_send, m.phase_send, relog=True)
+        return len(entries)
+
+    def _replay(self, dst: int, tag: int, payload: Any, size: int, date: int,
+                epoch_send: int, phase_send: int, relog: bool) -> None:
+        """Emit a message from the log without re-executing application code.
+
+        The original metadata is carried so the receiver's duplicate
+        detection and phase machinery behave exactly as for a re-executed
+        message."""
+        env = Envelope(src=self.rank, dst=dst, tag=tag, payload=payload, size=size)
+        env.meta["date"] = date
+        env.meta["epoch"] = epoch_send
+        env.meta["phase"] = phase_send
+        env.meta["replayed"] = True
+        if relog and not any(
+            pa.dst == dst and pa.date == date for pa in self.state.non_ack
+        ):
+            self.state.non_ack.append(
+                PendingAck(dst=dst, tag=tag, payload=copy.deepcopy(payload), size=size,
+                           date=date, epoch_send=epoch_send, phase_send=phase_send)
+            )
+        self.messages_replayed += 1
+        self.world.transmit_app(env)
+
+    # ------------------------------------------------------------------
+    def adopt_state(self, state: ProtocolState) -> None:
+        """Install a restored protocol state (controller-driven rollback).
+
+        Restored log entries and SPE cells carry the reception epochs known
+        *when the checkpoint was taken*; re-deliveries after it (e.g. during
+        an earlier recovery) may have landed in later epochs.  Lift them
+        with the monotone observation table so the next recovery's replay
+        filter and fix-point see current knowledge (DESIGN.md §7.2)."""
+        for lm in state.logs:
+            observed = self._ack_obs.get(lm.dst, {}).get(lm.date, 0)
+            if observed > lm.epoch_recv:
+                lm.epoch_recv = observed
+        # SPE cells have no dates; map observations onto the restored
+        # branch's epoch date spans (sends of epoch e carry dates in
+        # (start_date(e), start_date(next e)]).
+        ordered = sorted(state.spe)
+        for i, epoch in enumerate(ordered):
+            lo = state.spe[epoch].start_date
+            hi = (
+                state.spe[ordered[i + 1]].start_date
+                if i + 1 < len(ordered)
+                else float("inf")
+            )
+            cells = state.spe[epoch].recv_epoch
+            for dst in cells:
+                obs = self._ack_obs.get(dst)
+                if not obs:
+                    continue
+                best = max(
+                    (er for d, er in obs.items() if lo < d <= hi), default=0
+                )
+                # cap at the sending epoch: SPE must keep the non-logged
+                # invariant Es >= Er (the garbage-collection bound "nobody
+                # rolls below the smallest current epoch" depends on it);
+                # re-receptions beyond it are the log/NonAck's business
+                best = min(best, epoch)
+                if best > cells[dst]:
+                    cells[dst] = best
+        self.state = state
+
+    def describe(self) -> str:
+        st = self.state
+        return (
+            f"rank {self.rank}: {self.status.value} epoch={st.epoch} "
+            f"phase={st.phase} date={st.date} logs={len(st.logs)} nonack={len(st.non_ack)}"
+        )

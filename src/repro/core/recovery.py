@@ -1,0 +1,266 @@
+"""The dedicated recovery process — the paper's Fig. 4 algorithm.
+
+The recovery process is a control-plane entity (it is *not* one of the
+application ranks; the controller attaches it to the network under a
+pseudo-rank) that, per recovery round:
+
+1. collects every process's ``SPE`` table into the dependency table;
+2. runs the recovery-line fix-point (Fig. 4 lines 9-16): whenever process
+   ``k`` sent a *non-logged* message from epoch ``Es`` that ``j`` received
+   in an epoch at or above ``j``'s restart epoch, ``k`` must restart at or
+   below ``Es`` — iterated to a fixed point;
+3. broadcasts the recovery line;
+4. collects the per-process orphan notifications, then runs
+   ``NotifyPhases`` (lines 38-41): a phase ``p`` becomes *ready* once no
+   phase ``p' <= p`` still has outstanding orphan messages; ``ReadyPhase``
+   notifications are emitted in increasing phase order.
+
+The paper computes the date associated with a rollback epoch from the
+``SPE`` table (``SPE[e].date`` is the process date at the beginning of
+``e``), which is exactly what :func:`compute_recovery_line` does here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from ..errors import ProtocolError
+from ..simmpi.message import Envelope
+from .protocol import CTL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .controller import FTController
+
+__all__ = ["compute_recovery_line", "RecoveryProcess", "RecoveryReport"]
+
+
+SPEExport = dict[int, tuple[int, dict[int, int]]]  # epoch -> (start_date, {peer: Er})
+
+
+class RecoveryLineSolver:
+    """Worklist implementation of the Fig. 4 fix-point.
+
+    The naive formulation rescans every SPE entry per iteration — fine for
+    one recovery, too slow for the Table I offline analysis (every
+    (snapshot, failed-rank) pair at 256 ranks).  This solver builds, once
+    per snapshot, a reverse index ``receiver -> [(sender, epoch_send,
+    epoch_recv)]`` and then propagates rollbacks with a worklist: when a
+    rank's restart epoch drops, only *its* inbound entries are rescanned.
+    """
+
+    def __init__(self, spe_tables: dict[int, SPEExport]):
+        self.spe_tables = spe_tables
+        self.inbound: dict[int, list[tuple[int, int, int]]] = {}
+        for k, spe in spe_tables.items():
+            for epoch_send, (_start, per_peer) in spe.items():
+                for j, epoch_recv in per_peer.items():
+                    self.inbound.setdefault(j, []).append(
+                        (k, epoch_send, epoch_recv)
+                    )
+
+    def solve(self, failed_restarts: dict[int, int]) -> dict[int, tuple[int, int]]:
+        rl: dict[int, int] = dict(failed_restarts)
+        work = list(failed_restarts)
+        while work:
+            j = work.pop()
+            bound = rl[j]
+            for k, epoch_send, epoch_recv in self.inbound.get(j, ()):
+                if epoch_recv < bound:
+                    continue
+                # j re-executes the reception: k must re-send, so k
+                # restarts at or below the sending epoch.
+                cur = rl.get(k)
+                if cur is None or epoch_send < cur:
+                    rl[k] = epoch_send
+                    work.append(k)
+        out: dict[int, tuple[int, int]] = {}
+        for rank, epoch in rl.items():
+            spe = self.spe_tables.get(rank, {})
+            if epoch not in spe:
+                raise ProtocolError(
+                    f"recovery line needs epoch {epoch} of rank {rank} but its "
+                    f"SPE has no such epoch (available: {sorted(spe)})"
+                )
+            out[rank] = (epoch, spe[epoch][0])
+        return out
+
+
+def compute_recovery_line(
+    spe_tables: dict[int, SPEExport],
+    failed_restarts: dict[int, int],
+) -> dict[int, tuple[int, int]]:
+    """Fix-point recovery-line computation (Fig. 4 lines 6-16).
+
+    Parameters
+    ----------
+    spe_tables:
+        ``rank -> SPE export`` for every application process.
+    failed_restarts:
+        ``rank -> restart epoch`` for the failed processes (their latest
+        checkpoint epoch).
+
+    Returns
+    -------
+    ``rank -> (epoch, date)`` for every process that must roll back; ranks
+    absent from the mapping keep running from their current state.
+    """
+    return RecoveryLineSolver(spe_tables).solve(failed_restarts)
+
+
+@dataclass
+class RecoveryReport:
+    """Per-round statistics surfaced to experiments and tests."""
+
+    round_no: int
+    failed: list[int]
+    recovery_line: dict[int, tuple[int, int]] = field(default_factory=dict)
+    rolled_back: list[int] = field(default_factory=list)
+    phases_notified: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+
+class RecoveryProcess:
+    """Message-driven implementation of the Fig. 4 recovery coordinator."""
+
+    def __init__(self, controller: "FTController"):
+        self.controller = controller
+        self.nprocs = controller.nprocs
+        self.active = False
+        self.round = 0
+        self.report: RecoveryReport | None = None
+        self.reports: list[RecoveryReport] = []
+        self._reset_round_state()
+
+    def _reset_round_state(self) -> None:
+        self._rollback_notices: dict[int, tuple[int, int]] = {}
+        self._spe_tables: dict[int, SPEExport] = {}
+        self._current_epochs: dict[int, int] = {}
+        self._rl: dict[int, tuple[int, int]] = {}
+        self._rl_sent = False
+        self._orphan_notifs: dict[int, dict[str, Any]] = {}
+        self._nb_orphan: dict[int, int] = {}
+        #: (receiver, recorded phase, sender) -> effective (remapped) phase
+        self._orphan_eff_phase: dict[tuple[int, int, int], int] = {}
+        self._max_phase = 0
+        self._next_ready = 0
+        self._expected_failed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def begin_round(self, round_no: int, failed: list[int], now: float) -> None:
+        if self.active:
+            raise ProtocolError("recovery round started while one is active")
+        self.active = True
+        self.round = round_no
+        self._reset_round_state()
+        self._expected_failed = set(failed)
+        self.report = RecoveryReport(round_no=round_no, failed=sorted(failed),
+                                     started_at=now)
+
+    # ------------------------------------------------------------------
+    # Inbound control messages
+    # ------------------------------------------------------------------
+    def receive(self, env: Envelope) -> None:
+        payload = env.payload
+        if payload.get("round") != self.round or not self.active:
+            return  # stale traffic from a previous round
+        if env.tag == CTL.ROLLBACK:
+            self._rollback_notices[env.src] = (payload["epoch"], payload["date"])
+            self._maybe_compute_line()
+        elif env.tag == CTL.SPE_UPLOAD:
+            self._spe_tables[env.src] = payload["spe"]
+            self._current_epochs[env.src] = payload["epoch"]
+            self._maybe_compute_line()
+        elif env.tag == CTL.ORPHAN_NOTIF:
+            self._orphan_notifs[env.src] = payload
+            if len(self._orphan_notifs) == self.nprocs:
+                self._aggregate_notifications()
+        elif env.tag == CTL.NO_ORPHAN:
+            key = (env.src, payload["phase"], payload["sender"])
+            eff = self._orphan_eff_phase.pop(key, None)
+            if eff is None:
+                raise ProtocolError(f"unexpected NoOrphan for {key}")
+            self._nb_orphan[eff] -= 1
+            if self._nb_orphan[eff] < 0:
+                raise ProtocolError(f"phase {eff} orphan aggregate went negative")
+            self._notify_phases()
+        else:
+            raise ProtocolError(f"recovery process got unexpected tag {env.tag}")
+
+    # ------------------------------------------------------------------
+    def _maybe_compute_line(self) -> None:
+        if self._rl_sent:
+            return
+        if self._expected_failed - set(self._rollback_notices):
+            return
+        if len(self._spe_tables) < self.nprocs:
+            return
+        failed_restarts = {r: e for r, (e, _d) in self._rollback_notices.items()}
+        self._rl = compute_recovery_line(self._spe_tables, failed_restarts)
+        self._rl_sent = True
+        assert self.report is not None
+        self.report.recovery_line = dict(self._rl)
+        self.report.rolled_back = sorted(self._rl)
+        self.controller.broadcast_control(
+            CTL.RECOVERY_LINE, {"rl": self._rl, "round": self.round}
+        )
+
+    def _aggregate_notifications(self) -> None:
+        """Fig. 4 lines 22-32: build the per-phase orphan aggregate.
+
+        Reproduction note — *phase remapping*.  The paper's proof assumes
+        all recorded phases belong to one coherent execution.  Phases,
+        unlike send dates, are *not* reproducible across re-executions
+        (they depend on delivery interleavings and on where checkpoints
+        fall), so after a second failure an orphan may sit in an ``RPP``
+        bucket recorded in an abandoned branch whose phase number is lower
+        than its sender's registration phase in the current branch — which
+        would gate the sender's release on the orphan it must itself
+        re-send (deadlock).  We therefore lift every orphan to
+        ``max(recorded phase, sender's registration phase)``.  Progress:
+        a release cycle would need registration phases ``p_A < p_B < ... <
+        p_A``.  Single-failure rounds are unaffected (the recorded phase
+        already dominates the sender's restored phase there).
+        """
+        self._nb_orphan = {}
+        self._orphan_eff_phase = {}
+        reg_phase = {
+            rank: notif["phase"]
+            for rank, notif in self._orphan_notifs.items()
+            if notif["status"] == "RolledBack"
+        }
+        max_phase = 0
+        for rank, notif in self._orphan_notifs.items():
+            max_phase = max(max_phase, notif["phase"], *(notif["log_phases"] or [0]))
+            for phase, sender in notif["orph_entries"]:
+                eff = max(phase, reg_phase.get(sender, 0))
+                self._orphan_eff_phase[(rank, phase, sender)] = eff
+                self._nb_orphan[eff] = self._nb_orphan.get(eff, 0) + 1
+                max_phase = max(max_phase, eff)
+        self._max_phase = max_phase
+        self._next_ready = 0
+        self._notify_phases()
+
+    def _notify_phases(self) -> None:
+        """Fig. 4 lines 38-41, emitted in increasing phase order."""
+        if not self._rl_sent or len(self._orphan_notifs) < self.nprocs:
+            return
+        while self._next_ready <= self._max_phase:
+            phase = self._next_ready
+            if self._nb_orphan.get(phase, 0) > 0:
+                return
+            self.controller.broadcast_control(
+                CTL.READY_PHASE, {"phase": phase, "round": self.round}
+            )
+            assert self.report is not None
+            self.report.phases_notified += 1
+            self._next_ready += 1
+        self._finish_round()
+
+    def _finish_round(self) -> None:
+        assert self.report is not None
+        self.report.finished_at = self.controller.now
+        self.reports.append(self.report)
+        self.active = False
+        self.controller.on_recovery_complete(self.report)

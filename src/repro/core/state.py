@@ -1,0 +1,166 @@
+"""Per-process protocol state — the local variables of the paper's Fig. 3.
+
+Structures
+----------
+* ``date`` — in the paper, a per-process counter incremented on every send
+  *and* receive.  We increment on sends only, making the date of a message
+  its sender's send-sequence number.  Rationale: send-deterministic
+  re-execution reproduces each process's *send* sequence exactly but not
+  its reception interleavings, so send-only dates are reproducible across
+  re-executions while send+receive dates are not — and every use of dates
+  in the protocol (duplicate suppression, ``RPP``-vs-recovery-line orphan
+  identification, last-orphan-of-phase detection) only compares a
+  *sender's* dates with each other, for which the two definitions are
+  order-isomorphic.  (The paper's own MPICH2 implementation likewise keys
+  duplicate suppression on per-channel sequence numbers, Fig. 5.)
+* ``epoch`` — incremented at every checkpoint; with clustering, clusters
+  start at distinct epochs separated by 2 (Section V-E-3).
+* ``phase`` — causality bookkeeping for recovery-time replay ordering.
+* ``SPE`` (SentPerEpoch) — per own epoch: the date at the beginning of the
+  epoch, and per peer the largest reception epoch among *non-logged*
+  messages sent in that epoch.  Feeds the recovery-line fix-point.
+* ``RPP`` (ReceivedPerPhase) — per own phase, per sender: the send date of
+  the last message received in that phase.  Feeds orphan identification.
+* ``non_ack`` — sent and not yet acknowledged messages (payload retained;
+  doubles as an in-memory staging area for sender-based logging and covers
+  in-flight-loss replay on recovery).
+* ``logs`` — sender-based log of messages that crossed epochs upward.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "LoggedMessage",
+    "PendingAck",
+    "EpochRecord",
+    "ProtocolState",
+]
+
+
+@dataclass
+class PendingAck:
+    """A sent message awaiting acknowledgement (paper's ``NonAck`` entry)."""
+
+    dst: int
+    tag: int
+    payload: Any
+    size: int
+    date: int          # sender's send-sequence number
+    epoch_send: int
+    phase_send: int
+
+
+@dataclass
+class LoggedMessage:
+    """A sender-logged message (paper's ``Logs`` entry, Fig. 3 line 37)."""
+
+    dst: int
+    tag: int
+    payload: Any
+    size: int
+    date: int
+    epoch_send: int
+    phase_send: int
+    epoch_recv: int
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's entry in ``SPE``.
+
+    ``start_date`` is the process's date when the epoch began;
+    ``recv_epoch`` maps ``peer -> max reception epoch`` over the non-logged
+    messages this process sent to ``peer`` during the epoch.
+    """
+
+    start_date: int
+    recv_epoch: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ProtocolState:
+    """Everything Fig. 3 keeps per application process.
+
+    The subset saved in a checkpoint is produced by :meth:`checkpoint_copy`
+    (the paper's line 42, plus ``non_ack`` — required so that messages lost
+    in flight when *both* endpoints fail can still be replayed; the paper's
+    multiple-failure argument relies on "all the information needed is
+    included in the checkpoint").
+    """
+
+    date: int = 0
+    epoch: int = 1
+    phase: int = 1
+    spe: dict[int, EpochRecord] = field(default_factory=dict)
+    rpp: dict[int, dict[int, int]] = field(default_factory=dict)
+    non_ack: list[PendingAck] = field(default_factory=list)
+    logs: list[LoggedMessage] = field(default_factory=list)
+    #: per sender: date (send-seq) of the last message delivered from them —
+    #: the duplicate-suppression watermark
+    last_date_from: dict[int, int] = field(default_factory=dict)
+    #: messages delivered (protocol-level receive count, for stats)
+    delivered_count: int = 0
+
+    @staticmethod
+    def initial(initial_epoch: int = 1) -> "ProtocolState":
+        st = ProtocolState(epoch=initial_epoch)
+        st.spe[initial_epoch] = EpochRecord(start_date=0)
+        return st
+
+    # ------------------------------------------------------------------
+    # Bookkeeping used by the protocol engine
+    # ------------------------------------------------------------------
+    def next_date(self) -> int:
+        self.date += 1
+        return self.date
+
+    def record_rpp(self, src: int, date: int) -> None:
+        self.rpp.setdefault(self.phase, {})[src] = date
+        prev = self.last_date_from.get(src, 0)
+        if date <= prev:
+            raise AssertionError(
+                f"per-channel date monotonicity violated: {date} <= {prev} from {src}"
+            )
+        self.last_date_from[src] = date
+
+    def record_spe(self, dst: int, epoch_send: int, epoch_recv: int) -> None:
+        rec = self.spe.get(epoch_send)
+        if rec is None:
+            # the epoch record predates GC or the restore point; recreate
+            rec = self.spe[epoch_send] = EpochRecord(start_date=0)
+        rec.recv_epoch[dst] = max(rec.recv_epoch.get(dst, 0), epoch_recv)
+
+    def begin_epoch(self) -> None:
+        """Advance to the next epoch (at a checkpoint): Fig. 3 lines 43-45."""
+        self.epoch += 1
+        self.phase += 1
+        self.spe[self.epoch] = EpochRecord(start_date=self.date)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint_copy(self) -> "ProtocolState":
+        """Deep copy of the protocol state for stable storage."""
+        return copy.deepcopy(self)
+
+    def is_duplicate(self, src: int, date: int) -> bool:
+        return date <= self.last_date_from.get(src, 0)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (analysis & tests)
+    # ------------------------------------------------------------------
+    def spe_export(self) -> dict[int, tuple[int, dict[int, int]]]:
+        """Plain-data view of SPE: ``epoch -> (start_date, {peer: recv_epoch})``."""
+        return {
+            e: (rec.start_date, dict(rec.recv_epoch)) for e, rec in self.spe.items()
+        }
+
+    def logged_message_count(self) -> int:
+        return len(self.logs)
+
+    def logged_bytes(self) -> int:
+        return sum(m.size for m in self.logs)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Generic error raised by the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation reached quiescence while rank programs are unfinished.
+
+    Carries a diagnostic of which ranks are blocked and on what, which is
+    invaluable when debugging protocol gating bugs (a process waiting for a
+    ``ReadyPhase`` notification that never comes shows up here).
+    """
+
+    def __init__(self, message: str, blocked: dict[int, str] | None = None):
+        super().__init__(message)
+        #: rank -> human readable description of the operation it blocks on
+        self.blocked = dict(blocked or {})
+
+
+class ProtocolError(ReproError):
+    """An internal invariant of a rollback-recovery protocol was violated."""
+
+
+class CheckpointError(ReproError):
+    """Raised on invalid checkpoint store operations (missing epoch, GC'd)."""
+
+
+class ConfigError(ReproError):
+    """Raised when a workload/protocol configuration is inconsistent."""
+
+
+class SendDeterminismError(ReproError):
+    """Raised when a rank program violates the send-determinism contract.
+
+    The paper's correctness argument (Section IV) relies on every process
+    emitting the same sequence of messages in any correct execution; the
+    tracer can verify this and raises this error when the recorded sequences
+    diverge.
+    """

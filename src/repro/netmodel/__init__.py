@@ -1,0 +1,12 @@
+"""``repro.netmodel`` — analytic performance model (Figs. 6-7).
+
+Latency/bandwidth curves for native MPICH2 vs the protocol with and
+without logging, calibrated to the paper's Myri-10G testbed, plus
+conversion into simulator timing models for whole-kernel overhead runs.
+"""
+
+from . import calibration
+from .collectives_cost import CollectiveCost
+from .model import MODES, PerfModel, timing_model_for
+
+__all__ = ["calibration", "CollectiveCost", "MODES", "PerfModel", "timing_model_for"]

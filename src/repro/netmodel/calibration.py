@@ -1,0 +1,34 @@
+"""Hardware constants calibrated to the paper's testbed (Section V-B/C).
+
+The performance experiments ran on Grid'5000 Lille nodes: 2x Intel Xeon
+E5440, Myri-10G NICs (MX).  Fig. 6 shows ~3 us small-message half-round-
+trip latency for native MPICH2, ~9.5 Gb/s peak bandwidth, a ~15 %
+(~0.5 us) small-message latency overhead from the protocol's piggyback
+management, and a visibly lower large-message bandwidth when message
+contents are copied for logging.
+
+These constants are *calibration*, not measurement: the simulator derives
+the curve shapes (who crosses whom, where) from the cost model; only the
+absolute scales are pinned to the paper's hardware.
+"""
+
+from __future__ import annotations
+
+#: zero-byte one-way network latency, seconds (native MPICH2 on MX/Myri-10G)
+NATIVE_LATENCY = 2.7e-6
+#: asymptotic link bandwidth, bytes/s (~9.5 Gb/s as in Fig. 6)
+NATIVE_BANDWIDTH = 9.5e9 / 8
+#: sender CPU cost of posting a send, seconds
+SEND_OVERHEAD = 0.3e-6
+#: per-message cost of managing piggybacked ack data (the paper measured
+#: ~0.5 us ≈ 15 % added latency on small messages)
+PIGGYBACK_OVERHEAD = 0.5e-6
+#: memory-copy bandwidth used for sender-based logging copies, bytes/s
+#: (one extra memcpy per logged message; E5440-era ~2.5 GB/s streaming)
+COPY_BANDWIDTH = 2.5e9
+#: eager threshold: messages at or below are copied by default and need no
+#: explicit acknowledgement (Fig. 5's optimization)
+EAGER_THRESHOLD = 1024
+#: explicit ack one-way cost for large messages that require one, seconds;
+#: mostly overlapped with the transfer, so only a residual cost remains
+ACK_RESIDUAL = 0.2e-6

@@ -1,0 +1,94 @@
+"""Analytic point-to-point cost model — regenerates Fig. 6 and feeds Fig. 7.
+
+Three configurations, as in the paper's ping-pong experiment:
+
+* ``native`` — plain MPICH2: ``T(s) = L + s / B``.
+* ``protocol-nolog`` — the protocol with no message logged: piggyback
+  management adds a constant ``~0.5 us`` per message; messages above the
+  eager threshold need an explicit acknowledgement whose cost is almost
+  entirely overlapped with the transfer (the paper: "acknowledging every
+  message has a negligible overhead").
+* ``protocol-log`` — every message logged: one extra sender-side memcpy,
+  negligible for small messages, bandwidth-limiting for large ones
+  (``1/B_eff = 1/B + 1/B_copy``).
+
+The model also provides :func:`timing_model_for`, which converts a
+configuration into a :class:`~repro.simmpi.network.TimingModel` so whole
+kernels can be simulated under each configuration — that is how the Fig. 7
+NAS overhead bars are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..simmpi.network import TimingModel
+from . import calibration as cal
+
+__all__ = ["MODES", "PerfModel", "timing_model_for"]
+
+MODES = ("native", "protocol-nolog", "protocol-log")
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Analytic one-way message cost for the three configurations."""
+
+    latency: float = cal.NATIVE_LATENCY
+    bandwidth: float = cal.NATIVE_BANDWIDTH
+    piggyback: float = cal.PIGGYBACK_OVERHEAD
+    copy_bandwidth: float = cal.COPY_BANDWIDTH
+    eager_threshold: int = cal.EAGER_THRESHOLD
+    ack_residual: float = cal.ACK_RESIDUAL
+
+    def one_way_time(self, size: int, mode: str) -> float:
+        """One-way time (seconds) for a ``size``-byte message under ``mode``."""
+        if mode not in MODES:
+            raise ConfigError(f"unknown mode {mode!r}; pick one of {MODES}")
+        t = self.latency + size / self.bandwidth
+        if mode == "native":
+            return t
+        t += self.piggyback
+        if size > self.eager_threshold:
+            t += self.ack_residual
+        if mode == "protocol-log":
+            t += size / self.copy_bandwidth
+        return t
+
+    def bandwidth_mbps(self, size: int, mode: str) -> float:
+        """Achieved bandwidth in Mbit/s (the unit of Fig. 6, right)."""
+        return size * 8 / self.one_way_time(size, mode) / 1e6
+
+    def latency_overhead(self, size: int, mode: str) -> float:
+        """Relative latency overhead vs native (the paper's ~15 % figure)."""
+        return self.one_way_time(size, mode) / self.one_way_time(size, "native") - 1.0
+
+    def series(self, sizes: list[int]) -> dict[str, dict[int, float]]:
+        """Fig. 6 data: per mode, size -> one-way latency (seconds)."""
+        return {
+            mode: {s: self.one_way_time(s, mode) for s in sizes} for mode in MODES
+        }
+
+
+def timing_model_for(mode: str, model: PerfModel | None = None,
+                     logged_fraction: float = 1.0) -> TimingModel:
+    """A :class:`TimingModel` whose per-message costs realise ``mode``.
+
+    ``logged_fraction`` scales the copy cost for runs where only part of
+    the traffic is logged (the protocol's whole point): the per-byte copy
+    charge is applied proportionally.
+    """
+    m = model or PerfModel()
+    if mode == "native":
+        return TimingModel(latency=m.latency, bandwidth=m.bandwidth,
+                           send_overhead=cal.SEND_OVERHEAD)
+    if mode == "protocol-nolog":
+        return TimingModel(latency=m.latency + m.piggyback, bandwidth=m.bandwidth,
+                           send_overhead=cal.SEND_OVERHEAD)
+    if mode == "protocol-log":
+        per_byte = logged_fraction / m.copy_bandwidth
+        return TimingModel(latency=m.latency + m.piggyback, bandwidth=m.bandwidth,
+                           send_overhead=cal.SEND_OVERHEAD,
+                           per_byte_overhead=per_byte)
+    raise ConfigError(f"unknown mode {mode!r}; pick one of {MODES}")

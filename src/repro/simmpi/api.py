@@ -1,0 +1,146 @@
+"""Rank-facing MPI-like API.
+
+An :class:`MpiApi` instance is handed to every rank program.  Point-to-point
+operations return *op objects* that the program must ``yield``; collective
+operations are generator functions used with ``yield from``::
+
+    def run(self, api):
+        yield api.send(1, data, tag=7)
+        x = yield api.recv(src=0, tag=7)
+        total = yield from api.allreduce(x)
+        yield api.maybe_checkpoint()
+
+This mirrors mpi4py's lower-case pickle-based interface (``send``/``recv``/
+``bcast``/...) while staying inside the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .message import ANY_SOURCE, ANY_TAG
+from . import collectives as _coll
+from .process import (
+    CheckpointOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    NowOp,
+    RecvOp,
+    Request,
+    SendOp,
+    WaitallOp,
+    WaitOp,
+)
+
+__all__ = ["MpiApi", "ANY_SOURCE", "ANY_TAG"]
+
+
+class MpiApi:
+    """The communication interface a rank program sees.
+
+    Attributes
+    ----------
+    rank, size:
+        This process's rank and the world size, as in ``MPI_Comm_rank`` /
+        ``MPI_Comm_size`` on ``MPI_COMM_WORLD``.
+    """
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.size = size
+        # Per-rank collective instance counter.  All kernels are SPMD and
+        # call collectives in the same order on every rank, so the counter
+        # is globally consistent and keeps concurrent collectives from
+        # matching each other's traffic.
+        self._coll_seq = 0
+
+    # ------------------------------------------------------------------
+    # Point-to-point (yield the returned op)
+    # ------------------------------------------------------------------
+    def send(self, dst: int, payload: Any, tag: int = 0, size: int = 0) -> SendOp:
+        """Blocking buffered send."""
+        return SendOp(dst, payload, tag, size)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG, with_status: bool = False) -> RecvOp:
+        """Blocking receive; yields the payload (or ``(payload, status)``)."""
+        return RecvOp(src, tag, with_status)
+
+    def isend(self, dst: int, payload: Any, tag: int = 0, size: int = 0) -> IsendOp:
+        """Non-blocking send; yields a :class:`Request`."""
+        return IsendOp(dst, payload, tag, size)
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> IrecvOp:
+        """Non-blocking receive; yields a :class:`Request`."""
+        return IrecvOp(src, tag)
+
+    def wait(self, request: Request) -> WaitOp:
+        return WaitOp(request)
+
+    def waitall(self, requests: list[Request]) -> WaitallOp:
+        return WaitallOp(list(requests))
+
+    # ------------------------------------------------------------------
+    # Local operations
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float) -> ComputeOp:
+        """Model a local computation lasting ``seconds`` of virtual time."""
+        return ComputeOp(seconds)
+
+    def now(self) -> NowOp:
+        """Yields the current virtual time (for app-level instrumentation)."""
+        return NowOp()
+
+    def checkpoint(self) -> CheckpointOp:
+        """Unconditionally take a checkpoint at this point."""
+        return CheckpointOp(force=True)
+
+    def maybe_checkpoint(self) -> CheckpointOp:
+        """Offer a checkpoint opportunity; the protocol's schedule decides."""
+        return CheckpointOp(force=False)
+
+    # ------------------------------------------------------------------
+    # Collectives (use with ``yield from``)
+    # ------------------------------------------------------------------
+    def _next_coll_tag(self) -> int:
+        # stride 2: composite collectives (allreduce = reduce + bcast) use
+        # ``tag`` and ``tag - 1``, so instances must not be adjacent.
+        self._coll_seq += 2
+        return _coll.collective_tag(self._coll_seq)
+
+    def barrier(self):
+        return _coll.barrier(self, self._next_coll_tag())
+
+    def bcast(self, value: Any = None, root: int = 0):
+        return _coll.bcast(self, value, root, self._next_coll_tag())
+
+    def reduce(self, value: Any, op=None, root: int = 0):
+        return _coll.reduce(self, value, op, root, self._next_coll_tag())
+
+    def allreduce(self, value: Any, op=None):
+        return _coll.allreduce(self, value, op, self._next_coll_tag())
+
+    def gather(self, value: Any, root: int = 0):
+        return _coll.gather(self, value, root, self._next_coll_tag())
+
+    def scatter(self, values: list[Any] | None = None, root: int = 0):
+        return _coll.scatter(self, values, root, self._next_coll_tag())
+
+    def allgather(self, value: Any):
+        return _coll.allgather(self, value, self._next_coll_tag())
+
+    def alltoall(self, values: list[Any]):
+        return _coll.alltoall(self, values, self._next_coll_tag())
+
+    def scan(self, value: Any, op=None):
+        """Inclusive prefix reduction (use with ``yield from``)."""
+        return _coll.scan(self, value, op, self._next_coll_tag())
+
+    def reduce_scatter(self, values: list[Any], op=None):
+        """Element-wise combine + scatter (use with ``yield from``)."""
+        return _coll.reduce_scatter(self, values, op, self._next_coll_tag())
+
+    def sendrecv(self, dst: int, payload: Any, src: int, tag: int = 0,
+                 size: int = 0):
+        """Combined exchange, MPI_Sendrecv-style (use with ``yield from``)."""
+        return _coll.sendrecv(self, dst, payload, src, tag, size)

@@ -1,0 +1,226 @@
+"""Collective operations built over point-to-point messages.
+
+Every collective is a *generator function* used by rank programs through
+``yield from``.  The algorithms are fixed and data-independent, so all
+collectives are send-deterministic by construction (the same sequence of
+point-to-point sends happens in every correct execution) — which is the
+property the paper's protocol requires of the application layer.
+
+Algorithms
+----------
+* ``bcast`` / ``reduce`` — binomial trees rooted at ``root`` (log2 P steps).
+* ``allreduce`` / ``allgather`` — reduce/gather to rank 0 + broadcast; this
+  trades a little latency for simplicity and strict determinism.
+* ``barrier`` — zero-byte allreduce.
+* ``alltoall`` — linear pairwise exchange ``(rank + i) mod P``; buffered
+  sends make it deadlock-free.
+* ``gather`` / ``scatter`` — linear to/from the root, in rank order.
+
+Tags: each collective *instance* gets its own reserved tag (negative, below
+:data:`~repro.simmpi.message.COLLECTIVE_TAG_BASE`) derived from a per-rank
+sequence counter; SPMD programs call collectives in the same order on every
+rank, so the counters agree globally and concurrent instances never match
+each other's traffic.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, TYPE_CHECKING
+
+from .message import COLLECTIVE_TAG_BASE, CONTROL_TAG_BASE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import MpiApi
+
+__all__ = [
+    "collective_tag",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "scan",
+    "reduce_scatter",
+    "sendrecv",
+]
+
+#: number of distinct collective tags before the counter wraps
+_TAG_SPACE = -(CONTROL_TAG_BASE - COLLECTIVE_TAG_BASE) - 16
+
+
+def collective_tag(seq: int) -> int:
+    """Reserved tag for collective instance ``seq`` (wraps in the tag space)."""
+    return COLLECTIVE_TAG_BASE - (seq % _TAG_SPACE)
+
+
+def _resolve_op(op: Callable[[Any, Any], Any] | None) -> Callable[[Any, Any], Any]:
+    return operator.add if op is None else op
+
+
+# ----------------------------------------------------------------------
+def bcast(api: "MpiApi", value: Any, root: int, tag: int):
+    """Binomial-tree broadcast; every rank returns the root's value."""
+    rank, size = api.rank, api.size
+    if size == 1:
+        return value
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = ((vrank - mask) + root) % size
+            value = yield api.recv(src, tag)
+            break
+        mask <<= 1
+    # after the loop, ``mask`` is the level this rank received at (or the
+    # first power of two >= size for the root); children are vrank + m for
+    # every power of two m below that level.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dst = (vrank + mask + root) % size
+            yield api.send(dst, value, tag)
+        mask >>= 1
+    return value
+
+
+def reduce(api: "MpiApi", value: Any, op, root: int, tag: int):
+    """Binomial-tree reduction; the root returns the combined value."""
+    rank, size = api.rank, api.size
+    combine = _resolve_op(op)
+    if size == 1:
+        return value
+    vrank = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if (vrank & mask) == 0:
+            peer = vrank | mask
+            if peer < size:
+                other = yield api.recv((peer + root) % size, tag)
+                acc = combine(acc, other)
+        else:
+            parent = vrank & ~mask
+            yield api.send((parent + root) % size, acc, tag)
+            return None
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def allreduce(api: "MpiApi", value: Any, op, tag: int):
+    """Reduce to rank 0 then broadcast; every rank returns the result."""
+    acc = yield from reduce(api, value, op, 0, tag)
+    result = yield from bcast(api, acc, 0, tag - 1 if tag - 1 > CONTROL_TAG_BASE else tag)
+    return result
+
+
+def barrier(api: "MpiApi", tag: int):
+    """Synchronize all ranks (zero-byte allreduce)."""
+    yield from allreduce(api, 0, None, tag)
+    return None
+
+
+def gather(api: "MpiApi", value: Any, root: int, tag: int):
+    """Linear gather; the root returns ``[value_0, ..., value_{P-1}]``."""
+    rank, size = api.rank, api.size
+    if rank == root:
+        out: list[Any] = [None] * size
+        out[root] = value
+        for src in range(size):
+            if src == root:
+                continue
+            out[src] = yield api.recv(src, tag)
+        return out
+    yield api.send(root, value, tag)
+    return None
+
+
+def scatter(api: "MpiApi", values: list[Any] | None, root: int, tag: int):
+    """Linear scatter; every rank returns its slice of the root's list."""
+    rank, size = api.rank, api.size
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ValueError("scatter root must supply one value per rank")
+        for dst in range(size):
+            if dst == root:
+                continue
+            yield api.send(dst, values[dst], tag)
+        return values[root]
+    result = yield api.recv(root, tag)
+    return result
+
+
+def allgather(api: "MpiApi", value: Any, tag: int):
+    """Gather to rank 0 then broadcast the list; every rank returns it."""
+    gathered = yield from gather(api, value, 0, tag)
+    result = yield from bcast(
+        api, gathered, 0, tag - 1 if tag - 1 > CONTROL_TAG_BASE else tag
+    )
+    return result
+
+
+def scan(api: "MpiApi", value: Any, op, tag: int):
+    """Inclusive prefix reduction: rank ``i`` returns ``v_0 op ... op v_i``.
+
+    Linear pipeline (rank ``i`` receives the prefix from ``i - 1``,
+    combines, forwards) — latency O(P) but strictly deterministic and it
+    preserves non-commutative operator order, unlike tree schedules.
+    """
+    rank, size = api.rank, api.size
+    combine = _resolve_op(op)
+    acc = value
+    if rank > 0:
+        prefix = yield api.recv(rank - 1, tag)
+        acc = combine(prefix, value)
+    if rank + 1 < size:
+        yield api.send(rank + 1, acc, tag)
+    return acc
+
+
+def reduce_scatter(api: "MpiApi", values: list[Any], op, tag: int):
+    """Combine ``values`` element-wise across ranks; rank ``i`` returns the
+    combined element ``i`` (reduce to rank 0 + scatter)."""
+    rank, size = api.rank, api.size
+    if len(values) != size:
+        raise ValueError("reduce_scatter needs one value per rank")
+    combine = _resolve_op(op)
+
+    def merge(a: list[Any], b: list[Any]) -> list[Any]:
+        return [combine(x, y) for x, y in zip(a, b)]
+
+    combined = yield from reduce(api, list(values), merge, 0, tag)
+    result = yield from scatter(
+        api, combined, 0, tag - 1 if tag - 1 > CONTROL_TAG_BASE else tag
+    )
+    return result
+
+
+def sendrecv(api: "MpiApi", dst: int, payload: Any, src: int, tag: int,
+             size: int = 0):
+    """Combined send+receive (``MPI_Sendrecv``): deadlock-free under the
+    substrate's buffered sends; returns the received payload."""
+    yield api.send(dst, payload, tag, size)
+    received = yield api.recv(src, tag)
+    return received
+
+
+def alltoall(api: "MpiApi", values: list[Any], tag: int):
+    """Pairwise exchange; rank ``i`` returns ``[v_0[i], ..., v_{P-1}[i]]``.
+
+    Round ``i`` sends to ``(rank + i) mod P`` and receives from
+    ``(rank - i) mod P``; buffered sends keep the rounds deadlock-free.
+    """
+    rank, size = api.rank, api.size
+    if len(values) != size:
+        raise ValueError("alltoall needs one value per rank")
+    out: list[Any] = [None] * size
+    out[rank] = values[rank]
+    for i in range(1, size):
+        dst = (rank + i) % size
+        src = (rank - i) % size
+        yield api.send(dst, values[dst], tag)
+        out[src] = yield api.recv(src, tag)
+    return out

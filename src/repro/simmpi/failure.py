@@ -1,0 +1,101 @@
+"""Fail-stop failure injection.
+
+The paper assumes a *fail-stop* model with possibly multiple concurrent
+failures (Section II-A).  The injector schedules kill events at virtual
+times (or when a rank reaches an event count) and invokes a handler —
+normally the protocol controller's failure orchestration — which performs
+the actual kill/restore.  The substrate-level kill primitive lives on
+:class:`~repro.simmpi.process.Proc` (``kill()``: drop the execution, purge
+in-flight inbound traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import World
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled fail-stop failure."""
+
+    rank: int
+    time: float
+
+
+class FailureInjector:
+    """Schedules fail-stop failures and dispatches them to a handler.
+
+    Concurrent failures: multiple events at the same virtual time are
+    delivered to the handler as a single batch (list of ranks), matching
+    the paper's "multiple concurrent failures" scenario where the recovery
+    line must account for every failed process at once.
+    """
+
+    def __init__(self, world: "World", handler: Callable[[list[int]], None]):
+        self.world = world
+        self.handler = handler
+        self._scheduled: list[FailureEvent] = []
+        self.fired: list[FailureEvent] = []
+
+    def at(self, time: float, rank: int) -> None:
+        """Kill ``rank`` at virtual ``time``."""
+        if not 0 <= rank < self.world.nprocs:
+            raise ConfigError(f"rank {rank} out of range")
+        self._scheduled.append(FailureEvent(rank, time))
+
+    def concurrent(self, time: float, ranks: list[int]) -> None:
+        """Kill several ranks at the same instant."""
+        for rank in ranks:
+            self.at(time, rank)
+
+    def after_sends(self, rank: int, nsends: int) -> None:
+        """Kill ``rank`` immediately after its ``nsends``-th application
+        send — deterministic logical placement, independent of the timing
+        model (useful for reproducible protocol corner cases)."""
+        if not 0 <= rank < self.world.nprocs:
+            raise ConfigError(f"rank {rank} out of range")
+        if nsends < 1:
+            raise ConfigError("nsends must be positive")
+        original = self.world.transmit_app
+        state = {"installed": False}
+
+        def tapped(env, _original=original):
+            cpu = _original(env)
+            if (env.src == rank
+                    and self.world.procs[rank].app_messages_sent >= nsends
+                    and not state["installed"]):
+                state["installed"] = True
+                self.world.engine.call_soon(
+                    lambda: self._fire([rank], self.world.engine.now)
+                )
+            return cpu
+
+        self.world.transmit_app = tapped
+
+    def arm(self) -> None:
+        """Install the scheduled failures into the engine."""
+        by_time: dict[float, list[int]] = {}
+        for ev in self._scheduled:
+            by_time.setdefault(ev.time, []).append(ev.rank)
+        for time, ranks in by_time.items():
+            self.world.engine.schedule_at(
+                time, lambda rs=sorted(set(ranks)), t=time: self._fire(rs, t)
+            )
+        self._scheduled.clear()
+
+    def _fire(self, ranks: list[int], time: float) -> None:
+        alive = [r for r in ranks if self.world.procs[r].alive]
+        if not alive:
+            return
+        for r in alive:
+            self.fired.append(FailureEvent(r, time))
+            self.world.tracer.on_mark("failure", r, time)
+        self.handler(alive)

@@ -1,0 +1,122 @@
+"""Wire-level message representation.
+
+An :class:`Envelope` is what travels through the simulated network.  It
+carries the application payload plus a ``meta`` mapping that fault-tolerance
+protocols use for piggybacked metadata (dates, epochs, phases, sequence
+numbers, ...).  The substrate itself never interprets ``meta``.
+
+Tags
+----
+Application tags are non-negative integers.  Negative tags are reserved:
+
+* ``-1000 - k`` — collective operation instance ``k`` (see
+  :mod:`repro.simmpi.collectives`),
+* tags below :data:`CONTROL_TAG_BASE` — protocol control messages
+  (acknowledgements, rollback notifications, recovery-line distribution...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CONTROL_TAG_BASE",
+    "COLLECTIVE_TAG_BASE",
+    "Envelope",
+    "payload_nbytes",
+]
+
+#: wildcard source for receive operations
+ANY_SOURCE = -1
+#: wildcard tag for receive operations
+ANY_TAG = -1
+
+#: tags at or below this value are protocol control-plane messages
+CONTROL_TAG_BASE = -1_000_000
+#: base tag for collective-communication instances
+COLLECTIVE_TAG_BASE = -1000
+
+_uid_counter = itertools.count(1)
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort size estimate of a payload, in bytes.
+
+    Used when the sender does not give an explicit ``size``.  numpy arrays
+    report their true buffer size; bytes-likes their length; everything else
+    a small constant (the simulator only needs sizes for timing, and control
+    payloads are small).
+    """
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, bool)) or payload is None:
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, (list, tuple)):
+        return 16 + sum(payload_nbytes(x) for x in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
+    return 64
+
+
+@dataclass
+class Envelope:
+    """A message in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Sender and receiver ranks.
+    tag:
+        Matching tag (see module docstring for the reserved ranges).
+    payload:
+        The application data.  The substrate does not copy it; senders that
+        mutate buffers after sending must copy themselves (the FT protocol
+        layer copies when it needs to retain data for logging).
+    size:
+        Size in bytes used by the network timing model.
+    meta:
+        Piggybacked protocol metadata; opaque to the substrate.
+    uid:
+        Globally unique message id (diagnostics and tracing only — protocols
+        must not use it for matching, real networks have no such oracle).
+    send_time:
+        Virtual time at which the envelope entered the network.
+    src_incarnation:
+        Incarnation number of the sender at send time (used by tracing and
+        by the failure model to identify pre-failure traffic).
+    """
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    size: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    send_time: float = 0.0
+    src_incarnation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            self.size = payload_nbytes(self.payload)
+
+    @property
+    def is_control(self) -> bool:
+        return self.tag <= CONTROL_TAG_BASE
+
+    @property
+    def is_collective(self) -> bool:
+        return COLLECTIVE_TAG_BASE >= self.tag > CONTROL_TAG_BASE
+
+    def describe(self) -> str:
+        kind = "ctl" if self.is_control else ("coll" if self.is_collective else "app")
+        return f"<{kind} msg #{self.uid} {self.src}->{self.dst} tag={self.tag} size={self.size}>"

@@ -1,0 +1,162 @@
+"""Reliable FIFO network with a latency/bandwidth timing model.
+
+The paper's system model (Section II-A) assumes *reliable FIFO channels*
+between every ordered pair of processes, *no bound* on transmission delay
+and *no order* between messages on different channels.  This module
+implements exactly that:
+
+* per-``(src, dst)`` channels deliver in send order (FIFO is enforced even
+  when the timing model would reorder — a later large message never
+  overtakes an earlier small one on the same channel);
+* messages on different channels are delivered whenever their individually
+  computed delays expire, so cross-channel reordering happens naturally;
+* an optional deterministic jitter (seeded) perturbs delays so tests can
+  explore many interleavings reproducibly.
+
+Fail-stop support: the :class:`Network` drops in-flight envelopes addressed
+to a rank that dies before they arrive (messages are lost with the process,
+as on a real cluster), while envelopes already emitted *by* the dying rank
+stay on the wire.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SimulationError
+from .engine import Engine, EventHandle
+from .message import Envelope
+
+__all__ = ["TimingModel", "Network"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """First-order LogGP-style cost model.
+
+    ``latency`` is the zero-byte one-way latency (seconds); ``bandwidth``
+    the asymptotic link bandwidth (bytes/second); ``per_byte_overhead`` an
+    additional per-byte CPU cost charged to the *sender* (used by the
+    protocol performance model to account for logging copies);
+    ``send_overhead`` the fixed CPU cost of posting a send.
+
+    The defaults approximate the Myri-10G fabric of the paper's testbed
+    (~2.2 us short-message latency, ~9.5 Gb/s peak — Fig. 6).
+    """
+
+    latency: float = 2.2e-6
+    bandwidth: float = 1.19e9  # bytes/s  (~9.5 Gb/s)
+    send_overhead: float = 0.3e-6
+    per_byte_overhead: float = 0.0
+    jitter: float = 0.0  # relative, in [0, 1); 0 disables
+
+    def transit_time(self, size: int, rng: random.Random | None = None) -> float:
+        """One-way network time for ``size`` bytes (excludes sender CPU)."""
+        base = self.latency + size / self.bandwidth
+        if self.jitter and rng is not None:
+            base *= 1.0 + self.jitter * rng.random()
+        return base
+
+    def sender_cpu_time(self, size: int) -> float:
+        """CPU time the sender spends to emit ``size`` bytes."""
+        return self.send_overhead + size * self.per_byte_overhead
+
+
+class Network:
+    """Delivers envelopes between ranks with FIFO-per-channel semantics.
+
+    Parameters
+    ----------
+    engine:
+        The event engine used to schedule deliveries.
+    timing:
+        Cost model; a fast "null" model (zero latency) is handy for pure
+        protocol tests, while benchmarks use calibrated models.
+    seed:
+        Seed for the deterministic jitter stream.
+    """
+
+    def __init__(self, engine: Engine, timing: TimingModel | None = None, seed: int = 0):
+        self.engine = engine
+        self.timing = timing or TimingModel()
+        self._rng = random.Random(seed)
+        # rank -> callable(Envelope)
+        self._receivers: dict[int, Callable[[Envelope], None]] = {}
+        # (src, dst) -> virtual time the last envelope on this channel arrives
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        # in-flight events per destination, for fail-stop purging
+        self._in_flight: dict[int, list[tuple[EventHandle, Envelope]]] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, rank: int, receiver: Callable[[Envelope], None]) -> None:
+        """Register the delivery callback for ``rank`` (its inbound NIC)."""
+        self._receivers[rank] = receiver
+
+    def transmit(self, env: Envelope) -> float:
+        """Put ``env`` on the wire; returns the sender-side CPU time consumed.
+
+        Delivery is scheduled such that the channel ``(src, dst)`` stays
+        FIFO.  The returned CPU time lets the caller advance the sending
+        process's virtual clock (the engine does not do it implicitly).
+        """
+        if env.dst not in self._receivers:
+            raise SimulationError(f"transmit to unknown rank {env.dst}: {env.describe()}")
+        env.send_time = self.engine.now
+        transit = self.timing.transit_time(env.size, self._rng if self.timing.jitter else None)
+        # sender CPU (post overhead + logging copies) serialises before the
+        # wire: the NIC only sees the buffer once it is prepared
+        cpu = self.timing.sender_cpu_time(env.size)
+        arrival = self.engine.now + cpu + transit
+        chan = (env.src, env.dst)
+        prev = self._last_arrival.get(chan, -1.0)
+        if arrival <= prev:
+            # enforce FIFO: never overtake the previous message on the channel
+            arrival = prev + 1e-12
+        self._last_arrival[chan] = arrival
+        handle = self.engine.schedule_at(arrival, lambda: self._deliver(env))
+        self._in_flight.setdefault(env.dst, []).append((handle, env))
+        self.messages_sent += 1
+        self.bytes_sent += env.size
+        return cpu
+
+    def _deliver(self, env: Envelope) -> None:
+        pending = self._in_flight.get(env.dst)
+        if pending:
+            self._in_flight[env.dst] = [(h, e) for h, e in pending if e.uid != env.uid]
+        self.messages_delivered += 1
+        self._receivers[env.dst](env)
+
+    # ------------------------------------------------------------------
+    # Fail-stop support
+    # ------------------------------------------------------------------
+    def purge_inbound(self, rank: int) -> int:
+        """Drop all in-flight envelopes addressed to ``rank``.
+
+        Called when ``rank`` fails: messages that had not yet arrived are
+        lost with the process.  Returns the number of dropped envelopes.
+        """
+        dropped = 0
+        for handle, _env in self._in_flight.pop(rank, []):
+            handle.cancel()
+            dropped += 1
+        self.messages_dropped += dropped
+        return dropped
+
+    def purge_all(self) -> int:
+        """Drop every in-flight envelope (global restart support)."""
+        dropped = 0
+        for rank in list(self._in_flight):
+            dropped += self.purge_inbound(rank)
+        return dropped
+
+    def in_flight_count(self, rank: int | None = None) -> int:
+        """Number of in-flight envelopes (to ``rank``, or total)."""
+        if rank is not None:
+            return len(self._in_flight.get(rank, []))
+        return sum(len(v) for v in self._in_flight.values())

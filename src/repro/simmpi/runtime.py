@@ -1,0 +1,154 @@
+"""The :class:`World`: engine + network + processes wired together.
+
+``World`` is the top-level entry point of the substrate.  It owns the
+event engine, the network, one :class:`~repro.simmpi.process.Proc` per
+rank, one rank program per rank (created by a user factory) and the
+tracer.  Fault-tolerance protocols plug in through per-rank hooks created
+by ``hook_factory``; the plain world (no factory) runs without any fault
+tolerance, which is what the native-performance baselines measure.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable
+
+from ..errors import DeadlockError, SimulationError
+from .api import MpiApi
+from .engine import Engine
+from .message import Envelope
+from .network import Network, TimingModel
+from .process import NullHook, Proc, ProtocolHook
+from .trace import Tracer
+
+__all__ = ["World"]
+
+
+class World:
+    """A simulated machine running ``nprocs`` ranks.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of MPI ranks.
+    program_factory:
+        ``f(rank, size) -> RankProgram`` building each rank's program (any
+        object with ``run(api) -> generator``, ``snapshot()`` and
+        ``restore(state)``; see :class:`repro.apps.base.RankProgram`).
+    timing:
+        Network cost model (defaults to the Myri-10G-calibrated model).
+    hook_factory:
+        ``f(rank) -> ProtocolHook`` creating the per-rank protocol hook.
+    copy_payloads:
+        Deep-copy payloads at send time so sender-side buffer reuse cannot
+        corrupt in-flight or logged messages.  Benchmarks that only care
+        about timing may disable it.
+    record_events:
+        Keep the full event log in the tracer (memory-hungry; off by
+        default, counts and sequences are always kept).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        program_factory: Callable[[int, int], Any],
+        timing: TimingModel | None = None,
+        hook_factory: Callable[[int], ProtocolHook] | None = None,
+        copy_payloads: bool = True,
+        record_events: bool = False,
+        network_seed: int = 0,
+    ):
+        if nprocs < 1:
+            raise SimulationError("need at least one rank")
+        self.nprocs = nprocs
+        self.engine = Engine()
+        self.network = Network(self.engine, timing, seed=network_seed)
+        self.tracer = Tracer(nprocs, record_events=record_events)
+        self.copy_payloads = copy_payloads
+        self.programs = [program_factory(rank, nprocs) for rank in range(nprocs)]
+        self.apis = [MpiApi(rank, nprocs) for rank in range(nprocs)]
+        self.procs: list[Proc] = []
+        for rank in range(nprocs):
+            hook = hook_factory(rank) if hook_factory is not None else NullHook()
+            proc = Proc(rank, self, hook)
+            self.procs.append(proc)
+            self.network.attach(rank, self._make_receiver(rank))
+        self._done_count = 0
+        self.on_all_done: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    def launch(self) -> None:
+        """Create and schedule every rank program's generator."""
+        for rank, proc in enumerate(self.procs):
+            proc.start(self.programs[rank].run(self.apis[rank]))
+
+    def _make_receiver(self, rank: int) -> Callable[[Envelope], None]:
+        def receive(env: Envelope) -> None:
+            proc = self.procs[rank]
+            if env.is_control:
+                proc.deliver_control(env)
+            else:
+                self.tracer.on_app_deliver(env, self.engine.now)
+                proc.deliver(env)
+
+        return receive
+
+    # ------------------------------------------------------------------
+    # Transmission entry points
+    # ------------------------------------------------------------------
+    def transmit_app(self, env: Envelope) -> float:
+        """Send an application envelope; returns sender CPU time."""
+        if self.copy_payloads:
+            env.payload = copy.deepcopy(env.payload)
+        self.tracer.on_app_send(
+            env, self.engine.now, is_replay_dup=bool(env.meta.get("replayed"))
+        )
+        return self.network.transmit(env)
+
+    def transmit_control(self, env: Envelope) -> float:
+        """Send a control-plane envelope (protocol internal traffic)."""
+        if not env.is_control:
+            raise SimulationError("transmit_control requires a control tag")
+        return self.network.transmit(env)
+
+    # ------------------------------------------------------------------
+    # Completion tracking
+    # ------------------------------------------------------------------
+    def on_rank_done(self, rank: int) -> None:
+        self._done_count += 1
+        if self._done_count == self.nprocs and self.on_all_done is not None:
+            self.on_all_done()
+
+    def note_rank_restarted(self) -> None:
+        """A finished rank was rolled back and is running again."""
+        self._done_count -= 1
+
+    @property
+    def all_done(self) -> bool:
+        return all(p.done for p in self.procs)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, expect_completion: bool = True) -> float:
+        """Run the simulation; returns the final virtual time.
+
+        With ``expect_completion`` a quiescent world with unfinished
+        programs raises :class:`DeadlockError` carrying per-rank blocking
+        diagnostics — the single most useful debugging signal when a
+        protocol gates a send it should have released.
+        """
+        self.engine.run(until=until)
+        if expect_completion and until is None and not self.all_done:
+            blocked = {
+                p.rank: p.describe_block() for p in self.procs if not p.done
+            }
+            raise DeadlockError(
+                f"simulation quiesced with {len(blocked)} unfinished ranks", blocked
+            )
+        return self.engine.now
+
+    def run_until_quiescent(self) -> float:
+        """Drain every pending event without completion checks."""
+        self.engine.run()
+        return self.engine.now

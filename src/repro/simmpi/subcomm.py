@@ -1,0 +1,120 @@
+"""Subcommunicators: collectives over rank subsets (``MPI_Comm_split``).
+
+A :class:`SubComm` wraps a parent :class:`~repro.simmpi.api.MpiApi` with a
+member list: inside it, ranks are 0..len(members)-1 and every operation is
+translated to world ranks.  NPB-style kernels use these for row/column
+reductions on process grids.
+
+Tag discipline: a subcommunicator draws its collective tags from the
+*parent* rank's counter, one allocation per collective call.  The SPMD
+usage contract — every world rank participates in exactly one
+subcommunicator collective per program step (e.g. "each row reduces") —
+keeps the counters globally aligned; simultaneous *disjoint*
+subcommunicators may then share a tag value safely because their member
+pairs are disjoint (per-channel matching cannot cross).  The counter is
+part of the parent API and therefore checkpointed/restored with it, so
+re-executed subcommunicator traffic reuses the original tags.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import ConfigError
+from .api import MpiApi
+from . import collectives as _coll
+
+__all__ = ["SubComm", "split_by_color"]
+
+
+class SubComm:
+    """A communicator over a subset of world ranks.
+
+    Build with :meth:`MpiApi-like` construction::
+
+        row = SubComm(api, members=[4, 5, 6, 7])
+        total = yield from row.allreduce(x)
+    """
+
+    def __init__(self, parent: MpiApi, members: Sequence[int]):
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise ConfigError("subcommunicator members must be distinct")
+        if not members:
+            raise ConfigError("subcommunicator cannot be empty")
+        for m in members:
+            if not 0 <= m < parent.size:
+                raise ConfigError(f"member {m} outside the world")
+        if parent.rank not in members:
+            raise ConfigError(
+                f"rank {parent.rank} constructing a subcommunicator it is "
+                f"not a member of"
+            )
+        self.parent = parent
+        self.members = members
+        self.rank = members.index(parent.rank)
+        self.size = len(members)
+
+    # -- rank translation ----------------------------------------------
+    def world_rank(self, sub_rank: int) -> int:
+        return self.members[sub_rank]
+
+    # the collectives library drives everything through these four
+    # attributes/methods, so a translating facade is all that is needed
+    def send(self, dst: int, payload: Any, tag: int = 0, size: int = 0):
+        return self.parent.send(self.world_rank(dst), payload, tag, size)
+
+    def recv(self, src: int, tag: int):
+        return self.parent.recv(self.world_rank(src), tag)
+
+    def compute(self, seconds: float):
+        return self.parent.compute(seconds)
+
+    def now(self):
+        return self.parent.now()
+
+    def _next_coll_tag(self) -> int:
+        return self.parent._next_coll_tag()
+
+    # -- collectives over the subset --------------------------------------
+    def barrier(self):
+        return _coll.barrier(self, self._next_coll_tag())
+
+    def bcast(self, value: Any = None, root: int = 0):
+        return _coll.bcast(self, value, root, self._next_coll_tag())
+
+    def reduce(self, value: Any, op=None, root: int = 0):
+        return _coll.reduce(self, value, op, root, self._next_coll_tag())
+
+    def allreduce(self, value: Any, op=None):
+        return _coll.allreduce(self, value, op, self._next_coll_tag())
+
+    def gather(self, value: Any, root: int = 0):
+        return _coll.gather(self, value, root, self._next_coll_tag())
+
+    def scatter(self, values: list[Any] | None = None, root: int = 0):
+        return _coll.scatter(self, values, root, self._next_coll_tag())
+
+    def allgather(self, value: Any):
+        return _coll.allgather(self, value, self._next_coll_tag())
+
+    def alltoall(self, values: list[Any]):
+        return _coll.alltoall(self, values, self._next_coll_tag())
+
+    def scan(self, value: Any, op=None):
+        return _coll.scan(self, value, op, self._next_coll_tag())
+
+
+def split_by_color(api: MpiApi, color: int, colors: Sequence[int]) -> SubComm:
+    """``MPI_Comm_split`` with a globally known color map.
+
+    ``colors[r]`` is world rank ``r``'s color; the caller passes its own
+    ``color`` for clarity (validated).  Deterministic and local — the
+    color map must be SPMD-consistent, as in the NPB grid decompositions.
+    """
+    if len(colors) != api.size:
+        raise ConfigError("color map must cover every world rank")
+    if colors[api.rank] != color:
+        raise ConfigError("caller's color does not match the map")
+    members = [r for r in range(api.size) if colors[r] == color]
+    return SubComm(api, members)

@@ -1,0 +1,199 @@
+"""Execution tracing: send sequences, communication matrices, event logs.
+
+The tracer is the measurement substrate for the paper's evaluation:
+
+* per-rank *send sequences* let the property tests check the paper's
+  validity criterion (Definition 1: every process emits its valid sequence
+  of messages even across failures);
+* the *communication matrix* (messages / bytes per ordered rank pair)
+  feeds the clustering of Section V-E-3 and reproduces Fig. 8;
+* raw event records support debugging and the offline rollback analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .message import Envelope
+
+__all__ = ["TraceEvent", "SendRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event (kept deliberately small — traces get long)."""
+
+    kind: str  # "send" | "deliver" | "checkpoint" | "failure" | "restore"
+    time: float
+    rank: int
+    detail: tuple = ()
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """Identity of one application send, used for sequence comparison.
+
+    Two executions are *send-equivalent* when each rank's list of
+    ``SendRecord`` matches element-wise.  ``digest`` summarizes the payload
+    so content changes are caught without retaining the payload itself.
+    """
+
+    dst: int
+    tag: int
+    size: int
+    digest: int
+    #: protocol send date (send-sequence number); None when no FT protocol
+    #: is attached.  Lets analyses collapse recovery re-sends of the same
+    #: logical message (same date ⇒ same message).
+    date: int | None = None
+
+    @staticmethod
+    def of(env: Envelope) -> "SendRecord":
+        return SendRecord(
+            env.dst, env.tag, env.size, payload_digest(env.payload),
+            env.meta.get("date"),
+        )
+
+    def same_message(self, other: "SendRecord") -> bool:
+        return (
+            self.dst == other.dst
+            and self.tag == other.tag
+            and self.size == other.size
+            and self.digest == other.digest
+        )
+
+
+def payload_digest(payload: Any) -> int:
+    """Order-stable 64-bit digest of a payload (numpy-aware)."""
+    if isinstance(payload, np.ndarray):
+        # tobytes() is deterministic for a given dtype/shape/content
+        return hash((payload.shape, payload.dtype.str, payload.tobytes())) & (2**63 - 1)
+    if isinstance(payload, (list, tuple)):
+        return hash(tuple(payload_digest(x) for x in payload)) & (2**63 - 1)
+    if isinstance(payload, dict):
+        return (
+            hash(tuple(sorted((k, payload_digest(v)) for k, v in payload.items())))
+            & (2**63 - 1)
+        )
+    if isinstance(payload, (bytes, bytearray)):
+        return hash(bytes(payload)) & (2**63 - 1)
+    try:
+        return hash(payload) & (2**63 - 1)
+    except TypeError:
+        return hash(repr(payload)) & (2**63 - 1)
+
+
+class Tracer:
+    """Accumulates events during a simulated run."""
+
+    def __init__(self, nprocs: int, record_events: bool = False):
+        self.nprocs = nprocs
+        self.record_events = record_events
+        self.events: list[TraceEvent] = []
+        #: rank -> ordered list of application SendRecords (includes re-sends
+        #: suppressed later as duplicates — filtered by `send_sequences`)
+        self._sends: list[list[SendRecord]] = [[] for _ in range(nprocs)]
+        #: rank -> ordered list of (src, tag, size) deliveries to the app
+        self._delivers: list[list[tuple[int, int, int]]] = [[] for _ in range(nprocs)]
+        #: (src, dst) message counts / bytes
+        self.msg_count = np.zeros((nprocs, nprocs), dtype=np.int64)
+        self.msg_bytes = np.zeros((nprocs, nprocs), dtype=np.int64)
+        #: sends marked as duplicates re-emitted during recovery, per rank:
+        #: indices into the send list (so sequences can be de-duplicated)
+        self._dup_send_idx: list[set[int]] = [set() for _ in range(nprocs)]
+
+    # ------------------------------------------------------------------
+    def on_app_send(self, env: Envelope, time: float, is_replay_dup: bool = False) -> None:
+        rank = env.src
+        self._sends[rank].append(SendRecord.of(env))
+        if is_replay_dup:
+            self._dup_send_idx[rank].add(len(self._sends[rank]) - 1)
+        else:
+            self.msg_count[env.src, env.dst] += 1
+            self.msg_bytes[env.src, env.dst] += env.size
+        if self.record_events:
+            self.events.append(
+                TraceEvent("send", time, rank, (env.dst, env.tag, env.size, env.uid))
+            )
+
+    def mark_last_send_duplicate(self, rank: int) -> None:
+        """Reclassify the most recent send of ``rank`` as a recovery re-send."""
+        idx = len(self._sends[rank]) - 1
+        if idx >= 0 and idx not in self._dup_send_idx[rank]:
+            self._dup_send_idx[rank].add(idx)
+
+    def on_app_deliver(self, env: Envelope, time: float) -> None:
+        self._delivers[env.dst].append((env.src, env.tag, env.size))
+        if self.record_events:
+            self.events.append(
+                TraceEvent("deliver", time, env.dst, (env.src, env.tag, env.size, env.uid))
+            )
+
+    def on_mark(self, kind: str, rank: int, time: float, detail: tuple = ()) -> None:
+        if self.record_events:
+            self.events.append(TraceEvent(kind, time, rank, detail))
+
+    # ------------------------------------------------------------------
+    def send_sequences(self, dedup: bool = True) -> list[list[SendRecord]]:
+        """Per-rank application send sequences.
+
+        With ``dedup`` (the default) sends that were duplicate re-emissions
+        during recovery are collapsed, yielding the *logical* send sequence
+        that the paper's validity criterion talks about.
+        """
+        if not dedup:
+            return [list(s) for s in self._sends]
+        out: list[list[SendRecord]] = []
+        for rank in range(self.nprocs):
+            dups = self._dup_send_idx[rank]
+            out.append([r for i, r in enumerate(self._sends[rank]) if i not in dups])
+        return out
+
+    def logical_send_sequences(self) -> list[list[SendRecord]]:
+        """Per-rank send sequences with recovery re-sends collapsed by date.
+
+        The protocol stamps every application message with its sender's
+        send-sequence number ("date"); a re-execution or log replay of a
+        message reuses the original date, so keeping the first occurrence
+        per date yields the logical sequence of the paper's validity
+        criterion.  Re-sends with contents differing from the original are
+        a send-determinism violation and raise.
+        """
+        from ..errors import SendDeterminismError
+
+        out: list[list[SendRecord]] = []
+        for rank in range(self.nprocs):
+            seen: dict[int, SendRecord] = {}
+            seq: list[SendRecord] = []
+            for rec in self._sends[rank]:
+                if rec.date is None:
+                    seq.append(rec)
+                    continue
+                first = seen.get(rec.date)
+                if first is None:
+                    seen[rec.date] = rec
+                    seq.append(rec)
+                elif not first.same_message(rec):
+                    raise SendDeterminismError(
+                        f"rank {rank} re-sent date {rec.date} with different "
+                        f"content: {first} vs {rec}"
+                    )
+            out.append(seq)
+        return out
+
+    def deliver_sequences(self) -> list[list[tuple[int, int, int]]]:
+        return [list(d) for d in self._delivers]
+
+    def total_app_messages(self) -> int:
+        return int(self.msg_count.sum())
+
+    def comm_matrix(self, weight: str = "count") -> np.ndarray:
+        """Communication density matrix (Fig. 8 input)."""
+        if weight == "count":
+            return self.msg_count.copy()
+        if weight == "bytes":
+            return self.msg_bytes.copy()
+        raise ValueError(f"unknown weight {weight!r}")

@@ -1,0 +1,161 @@
+"""Tests for the offline analyses (rollback, logging, theory, matrices)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    LogStats,
+    SpeSampler,
+    collect_log_stats,
+    collect_matrix,
+    expected_rollback_fraction,
+    expected_rolled_back_clusters,
+    matrix_stats,
+    monte_carlo_rollback_fraction,
+    render_matrix,
+    rollback_analysis,
+    rollback_fraction_given_position,
+)
+from repro.analysis.rollback import SpeSnapshot
+from repro.apps.stencil import Stencil1D, Stencil2D
+from repro.core import ProtocolConfig, build_ft_world
+
+
+def factory(rank, size):
+    return Stencil1D(rank, size, niters=30, cells=4)
+
+
+# ----------------------------------------------------------------------
+# Theory (Section V-E-3)
+# ----------------------------------------------------------------------
+def test_expected_rolled_back_clusters():
+    assert expected_rolled_back_clusters(4) == 2.5
+    assert expected_rolled_back_clusters(1) == 1.0
+
+
+@pytest.mark.parametrize("p,expected", [(4, 62.5), (8, 56.25), (16, 53.125)])
+def test_expected_rollback_fraction_matches_paper_columns(p, expected):
+    """Table I's near-constant %rl columns are exactly (p+1)/2p."""
+    assert 100 * expected_rollback_fraction(p) == pytest.approx(expected)
+
+
+def test_fraction_approaches_half():
+    assert expected_rollback_fraction(1000) == pytest.approx(0.5, abs=1e-3)
+
+
+def test_position_fractions():
+    assert rollback_fraction_given_position(4, 0) == 1.0
+    assert rollback_fraction_given_position(4, 3) == 0.25
+    with pytest.raises(ValueError):
+        rollback_fraction_given_position(4, 4)
+
+
+def test_monte_carlo_agrees_with_closed_form():
+    mc = monte_carlo_rollback_fraction(8, trials=20000, seed=1)
+    assert mc == pytest.approx(expected_rollback_fraction(8), abs=0.01)
+
+
+# ----------------------------------------------------------------------
+# Rollback analysis (the Table I methodology)
+# ----------------------------------------------------------------------
+def test_sampler_takes_periodic_snapshots():
+    cfg = ProtocolConfig(checkpoint_interval=2e-5, rank_stagger=2e-6,
+                         lightweight=True)
+    world, ctl = build_ft_world(6, factory, cfg)
+    sampler = SpeSampler(ctl, interval=3e-5)
+    sampler.arm()
+    world.launch()
+    world.run()
+    assert len(sampler.snapshots) >= 2
+    times = [s.time for s in sampler.snapshots]
+    assert times == sorted(times)
+    assert all(len(s.spe_tables) == 6 for s in sampler.snapshots)
+
+
+def test_rollback_analysis_counts():
+    snap = SpeSnapshot(
+        time=0.0,
+        spe_tables={
+            0: {2: (0, {})},
+            1: {2: (0, {0: 2})},
+            2: {1: (0, {})},
+        },
+        epochs={0: 2, 1: 2, 2: 1},
+    )
+    stats = rollback_analysis([snap], 3)
+    assert stats.trials == 3
+    # failure of 0 pulls 1; failures of 1 and 2 are isolated
+    assert sorted(stats.counts) == [1, 1, 2]
+    assert stats.mean_fraction == pytest.approx(4 / 9)
+    assert stats.per_rank_mean[0] == 2.0
+
+
+def test_rollback_analysis_specific_ranks():
+    snap = SpeSnapshot(time=0.0, spe_tables={0: {1: (0, {})}, 1: {1: (0, {})}},
+                       epochs={0: 1, 1: 1})
+    stats = rollback_analysis([snap], 2, failed_ranks=[1])
+    assert stats.counts == [1]
+    assert stats.percent == 50.0
+
+
+def test_rollback_stats_extrema():
+    snap = SpeSnapshot(time=0.0,
+                       spe_tables={0: {1: (0, {})}, 1: {1: (0, {0: 1})}},
+                       epochs={0: 1, 1: 1})
+    stats = rollback_analysis([snap], 2)
+    assert stats.worst_fraction() == 1.0
+    assert stats.best_fraction() == 0.5
+
+
+# ----------------------------------------------------------------------
+# Logging stats
+# ----------------------------------------------------------------------
+def test_collect_log_stats():
+    cfg = ProtocolConfig(checkpoint_interval=2e-5,
+                         cluster_of=[0, 0, 0, 1, 1, 1], cluster_stagger=4e-6)
+    world, ctl = build_ft_world(6, factory, cfg)
+    world.launch()
+    world.run()
+    stats = collect_log_stats(ctl)
+    assert stats.messages_total > 0
+    assert 0 < stats.messages_logged < stats.messages_total
+    assert stats.percent == pytest.approx(100 * stats.fraction)
+    assert 0 <= stats.byte_fraction <= 1
+
+
+def test_log_stats_zero_safe():
+    stats = LogStats(0, 0, 0, 0)
+    assert stats.fraction == 0.0 and stats.byte_fraction == 0.0
+
+
+# ----------------------------------------------------------------------
+# Communication matrices (Fig. 8)
+# ----------------------------------------------------------------------
+def test_collect_matrix_shape_and_content():
+    m = collect_matrix(8, lambda r, s: Stencil2D(r, s, niters=3, block=3))
+    assert m.shape == (8, 8)
+    assert (np.diag(m) == 0).all()
+    assert m.sum() > 0
+
+
+def test_matrix_stats():
+    m = np.array([[0, 3], [1, 0]])
+    stats = matrix_stats(m)
+    assert stats["total_messages"] == 4
+    assert stats["nonzero_pairs"] == 2
+    assert stats["fill"] == 1.0
+    assert stats["max_pair"] == 3
+
+
+def test_render_matrix_has_cluster_overlay():
+    m = np.arange(16).reshape(4, 4)
+    out = render_matrix(m, cluster_of=[0, 0, 1, 1], epochs={0: 1, 1: 3})
+    assert "|" in out
+    assert "-" in out
+    assert "Ep1" in out and "Ep3" in out
+
+
+def test_render_matrix_coarsens_large():
+    m = np.ones((256, 256))
+    out = render_matrix(m, max_width=64)
+    assert len(out.splitlines()[0]) <= 80

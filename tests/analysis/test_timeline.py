@@ -1,0 +1,65 @@
+"""Tests for the ASCII recovery timeline."""
+
+import pytest
+
+from repro.analysis import Timeline, render_timeline
+from repro.apps.stencil import Stencil1D
+from repro.core import ProtocolConfig, build_ft_world
+from repro.errors import ConfigError
+
+
+def run(record=True, failure=True):
+    world, ctl = build_ft_world(
+        4, lambda r, s: Stencil1D(r, s, niters=25, cells=4),
+        ProtocolConfig(checkpoint_interval=2e-5, rank_stagger=2e-6),
+        record_events=record,
+    )
+    if failure:
+        ctl.inject_failure(5e-5, 2)
+        ctl.arm()
+    world.launch()
+    duration = world.run()
+    return world, duration
+
+
+def test_timeline_shows_failure_and_restores():
+    world, duration = run()
+    art = render_timeline(world.tracer, duration)
+    assert "X" in art            # the failure
+    assert "r" in art            # at least one restore
+    assert "c" in art            # checkpoints
+    assert art.count("rank") == 4
+    assert "legend" not in art   # legend is symbols, not the word
+
+
+def row_bodies(art):
+    return [l.split("|", 1)[1] for l in art.splitlines() if l.startswith("rank")]
+
+
+def test_timeline_failure_free_has_no_marks():
+    world, duration = run(failure=False)
+    body = "".join(row_bodies(render_timeline(world.tracer, duration)))
+    assert "X" not in body and "r" not in body and "=" not in body
+    assert "c" in body
+
+
+def test_timeline_requires_recorded_events():
+    world, duration = run(record=False, failure=False)
+    with pytest.raises(ConfigError):
+        render_timeline(world.tracer, duration)
+
+
+def test_recovery_spans_follow_restores():
+    world, duration = run()
+    tl = Timeline.from_tracer(world.tracer, duration)
+    spans = tl.recovery_spans(2)
+    assert spans, "the failed rank must show a re-execution span"
+    for start, end in spans:
+        assert 0 <= start <= end <= duration
+
+
+def test_rows_fixed_width():
+    world, duration = run()
+    art = render_timeline(world.tracer, duration, width=50)
+    rows = [l for l in art.splitlines() if l.startswith("rank")]
+    assert len({len(r) for r in rows}) == 1

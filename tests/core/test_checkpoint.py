@@ -1,0 +1,111 @@
+"""Unit tests for the checkpoint store and schedules."""
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, CheckpointSchedule, CheckpointStore
+from repro.core.state import ProtocolState
+from repro.errors import CheckpointError
+
+
+def ckpt(rank, epoch, time=0.0):
+    return Checkpoint(rank=rank, epoch=epoch, time=time, app_state={"e": epoch},
+                      coll_seq=0, unexpected=[], proto=ProtocolState.initial(epoch))
+
+
+def test_add_get_latest():
+    store = CheckpointStore(2)
+    store.add(ckpt(0, 1))
+    store.add(ckpt(0, 2))
+    assert store.get(0, 1).epoch == 1
+    assert store.latest(0).epoch == 2
+    assert store.epochs(0) == [1, 2]
+    assert store.count() == 2
+
+
+def test_duplicate_epoch_rejected():
+    store = CheckpointStore(1)
+    store.add(ckpt(0, 1))
+    with pytest.raises(CheckpointError):
+        store.add(ckpt(0, 1))
+
+
+def test_missing_checkpoint_raises():
+    store = CheckpointStore(1)
+    with pytest.raises(CheckpointError):
+        store.get(0, 3)
+    with pytest.raises(CheckpointError):
+        store.latest(0)
+
+
+def test_has():
+    store = CheckpointStore(1)
+    store.add(ckpt(0, 2))
+    assert store.has(0, 2) and not store.has(0, 1)
+
+
+def test_collect_garbage_below_bound():
+    store = CheckpointStore(2)
+    for e in (1, 2, 3):
+        store.add(ckpt(0, e))
+        store.add(ckpt(1, e))
+    removed = store.collect_garbage({0: 3, 1: 2})
+    assert removed == 3
+    assert store.epochs(0) == [3]
+    assert store.epochs(1) == [2, 3]
+    assert store.checkpoints_collected == 3
+
+
+def test_discard_above():
+    store = CheckpointStore(1)
+    for e in (1, 2, 3, 4):
+        store.add(ckpt(0, e))
+    assert store.discard_above(0, 2) == 2
+    assert store.epochs(0) == [1, 2]
+
+
+def test_checkpoint_date_property():
+    c = ckpt(0, 1)
+    c.proto.date = 42
+    assert c.date == 42
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def test_schedule_periodic():
+    s = CheckpointSchedule(interval=10.0)
+    assert not s.due(5.0)
+    assert s.due(10.0)
+    s.mark_taken(10.0)
+    assert not s.due(15.0)
+    assert s.due(20.0)
+
+
+def test_schedule_offset_staggers_first():
+    s = CheckpointSchedule(interval=10.0, offset=7.0)
+    assert not s.due(12.0)
+    assert s.due(17.0)
+
+
+def test_schedule_jitter_deterministic_and_bounded():
+    periods = []
+    for seed in (1, 1, 2):
+        s = CheckpointSchedule(interval=10.0, jitter=0.5, seed=seed)
+        periods.append(s._next_due)
+    assert periods[0] == periods[1]
+    assert periods[0] != periods[2]
+    assert 5.0 <= periods[0] <= 15.0
+
+
+def test_schedule_max_checkpoints():
+    s = CheckpointSchedule(interval=1.0, max_checkpoints=2)
+    assert s.due(1.0)
+    s.mark_taken(1.0)
+    assert s.due(2.0)
+    s.mark_taken(2.0)
+    assert not s.due(100.0)
+
+
+def test_schedule_never():
+    s = CheckpointSchedule.never()
+    assert not s.due(1e12)

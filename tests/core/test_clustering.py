@@ -1,0 +1,144 @@
+"""Unit tests for process clustering and epoch assignment (Sec. V-E-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    Clustering,
+    block_clusters,
+    cluster_epochs,
+    modularity_clusters,
+    spectral_clusters,
+)
+from repro.errors import ConfigError
+
+
+def block_diag_matrix(nprocs=16, nclusters=4, intra=100, inter=1):
+    """Synthetic traffic: heavy intra-block, light ring between blocks."""
+    m = np.full((nprocs, nprocs), 0, dtype=np.int64)
+    per = nprocs // nclusters
+    for i in range(nprocs):
+        for j in range(nprocs):
+            if i == j:
+                continue
+            m[i, j] = intra if i // per == j // per else inter
+    return m
+
+
+def test_block_clusters_contiguous():
+    assert block_clusters(8, 4) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_block_clusters_validations():
+    with pytest.raises(ConfigError):
+        block_clusters(8, 3)
+    with pytest.raises(ConfigError):
+        block_clusters(8, 0)
+    with pytest.raises(ConfigError):
+        block_clusters(4, 8)
+
+
+def test_modularity_recovers_block_structure():
+    m = block_diag_matrix(16, 4)
+    clusters = modularity_clusters(m, 4)
+    assert max(clusters) + 1 == 4
+    # ranks in the same block must land in the same cluster
+    for block in range(4):
+        members = {clusters[r] for r in range(block * 4, block * 4 + 4)}
+        assert len(members) == 1
+
+
+def test_spectral_recovers_block_structure():
+    m = block_diag_matrix(16, 4)
+    clusters = spectral_clusters(m, 4)
+    for block in range(4):
+        members = {clusters[r] for r in range(block * 4, block * 4 + 4)}
+        assert len(members) == 1
+
+
+def test_spectral_requires_power_of_two():
+    with pytest.raises(ConfigError):
+        spectral_clusters(block_diag_matrix(), 3)
+
+
+def test_cluster_epochs_spacing_two():
+    epochs = cluster_epochs([0, 0, 1, 1, 2, 2])
+    assert epochs == {0: 1, 1: 3, 2: 5}
+    diffs = np.diff(sorted(epochs.values()))
+    assert (diffs >= 2).all()
+
+
+def test_cluster_epochs_with_order():
+    epochs = cluster_epochs([0, 0, 1, 1], order=[1, 0])
+    assert epochs == {1: 1, 0: 3}
+
+
+def test_cluster_epochs_invalid_order():
+    with pytest.raises(ConfigError):
+        cluster_epochs([0, 1], order=[0, 0])
+
+
+def test_locality_isolation_metrics():
+    m = block_diag_matrix(16, 4, intra=100, inter=0)
+    c = Clustering(block_clusters(16, 4), m)
+    assert c.locality() == pytest.approx(1.0)
+    assert c.isolation() == pytest.approx(0.0)
+    m2 = block_diag_matrix(16, 4, intra=1, inter=1)
+    c2 = Clustering(block_clusters(16, 4), m2)
+    assert 0 < c2.locality() < 1
+
+
+def test_cluster_matrix_aggregates():
+    m = block_diag_matrix(8, 2, intra=10, inter=1)
+    c = Clustering(block_clusters(8, 2), m)
+    cm = c.cluster_matrix()
+    assert cm.shape == (2, 2)
+    assert cm[0, 0] == 10 * 12  # 4*3 ordered intra pairs
+    assert cm[0, 1] == 16       # 4*4 ordered inter pairs
+
+
+def test_predicted_log_fraction_counts_up_epoch_traffic():
+    # asymmetric traffic: cluster 0 -> 1 heavy, 1 -> 0 none
+    m = np.zeros((4, 4), dtype=np.int64)
+    m[0, 2] = m[1, 3] = 10  # cluster 0 (ranks 0,1) to cluster 1 (ranks 2,3)
+    c = Clustering([0, 0, 1, 1], m)
+    assert c.predicted_log_fraction() == pytest.approx(1.0)
+    reversed_order = Clustering([0, 0, 1, 1], m, epoch_order=[1, 0])
+    assert reversed_order.predicted_log_fraction() == pytest.approx(0.0)
+
+
+def test_reconfigure_epochs_bounds_logging_by_half():
+    """Section V-E-3's 50 % argument: if the 'up-epoch' messages exceed
+    half, reversing the epoch ordering logs the other set instead."""
+    rng = np.random.default_rng(3)
+    m = rng.integers(0, 20, size=(8, 8))
+    np.fill_diagonal(m, 0)
+    c = Clustering(block_clusters(8, 4), m)
+    best = c.reconfigure_epochs()
+    assert best.predicted_log_fraction() <= 0.5 + 1e-9
+    assert best.predicted_log_fraction() <= c.predicted_log_fraction()
+
+
+def test_initial_epochs_follow_order():
+    m = block_diag_matrix(8, 2)
+    c = Clustering(block_clusters(8, 2), m, epoch_order=[1, 0])
+    assert c.initial_epochs() == {1: 1, 0: 3}
+
+
+def test_members():
+    c = Clustering([0, 1, 0, 1], np.zeros((4, 4)))
+    assert c.members(0) == [0, 2]
+    assert c.members(1) == [1, 3]
+
+
+def test_mismatched_sizes_rejected():
+    with pytest.raises(ConfigError):
+        Clustering([0, 1], np.zeros((3, 3)))
+
+
+def test_balanced_partition_sizes():
+    m = block_diag_matrix(16, 4)
+    for fn in (modularity_clusters, spectral_clusters):
+        clusters = fn(m, 4)
+        sizes = [clusters.count(c) for c in range(4)]
+        assert max(sizes) - min(sizes) <= 4

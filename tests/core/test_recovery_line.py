@@ -1,0 +1,145 @@
+"""Unit tests for the recovery-line fix-point (Fig. 4 lines 6-16),
+including the paper's Fig. 1 scenario."""
+
+import pytest
+
+from repro.core.recovery import compute_recovery_line
+from repro.errors import ProtocolError
+
+
+def spe(entries, start_dates=None):
+    """Build an SPE export: ``{epoch: (start_date, {peer: recv_epoch})}``."""
+    start_dates = start_dates or {}
+    return {
+        epoch: (start_dates.get(epoch, 0), dict(peers))
+        for epoch, peers in entries.items()
+    }
+
+
+def test_failed_process_alone_when_no_dependencies():
+    tables = {0: spe({1: {}}), 1: spe({1: {}})}
+    rl = compute_recovery_line(tables, {0: 1})
+    assert rl == {0: (1, 0)}
+
+
+def test_direct_dependency_pulls_sender():
+    # rank 1 sent a non-logged message from epoch 2 that rank 0 received in
+    # epoch 2; rank 0 restarts at epoch 2 -> rank 1 must roll back to 2.
+    tables = {
+        0: spe({1: {}, 2: {}}),
+        1: spe({1: {}, 2: {0: 2}}, start_dates={2: 17}),
+    }
+    rl = compute_recovery_line(tables, {0: 2})
+    assert rl[0] == (2, 0)
+    assert rl[1] == (2, 17)
+
+
+def test_reception_below_restart_epoch_is_safe():
+    # rank 1's message was received by rank 0 in epoch 1 < restart epoch 2:
+    # the reception survives, no rollback for rank 1.
+    tables = {
+        0: spe({1: {}, 2: {}}),
+        1: spe({1: {0: 1}, 2: {}}),
+    }
+    rl = compute_recovery_line(tables, {0: 2})
+    assert 1 not in rl
+
+
+def test_cascade_two_hops():
+    # 2 sent to 1 (received in 1's epoch 3); 1 restarts at 3 after pulling
+    # by 0's failure; 2 must roll to its sending epoch 2 -> which then pulls 3.
+    tables = {
+        0: spe({4: {}}),
+        1: spe({3: {0: 4}}),
+        2: spe({2: {1: 3}}),
+        3: spe({1: {2: 2}}),
+    }
+    rl = compute_recovery_line(tables, {0: 4})
+    assert rl[1] == (3, 0)
+    assert rl[2] == (2, 0)
+    assert rl[3] == (1, 0)
+
+
+def test_logging_breaks_propagation_fig1():
+    """The paper's Fig. 1: P1 fails and restarts at epoch 2; P0 and P2 sent
+    it messages (m8, m9) received in epoch 2 -> they roll back.  P4's m7 to
+    P3 crossed epochs and was logged -> absent from SPE -> P4 (and P3, which
+    only has the orphan m10) stay up."""
+    tables = {
+        0: spe({2: {1: 2}}, start_dates={2: 10}),
+        1: spe({2: {3: 2}}, start_dates={2: 12}),  # m10 -> orphan at P3
+        2: spe({2: {1: 2}}, start_dates={2: 14}),
+        3: spe({2: {}}),
+        4: spe({1: {}, 2: {}}),  # m7 logged, not in SPE
+    }
+    rl = compute_recovery_line(tables, {1: 2})
+    assert set(rl) == {0, 1, 2}
+    assert rl[0] == (2, 10) and rl[2] == (2, 14)
+
+
+def test_multiple_concurrent_failures_union():
+    tables = {
+        0: spe({2: {}}),
+        1: spe({2: {}}),
+        2: spe({2: {0: 2}}),   # depends on 0's rollback
+        3: spe({2: {1: 2}}),   # depends on 1's rollback
+    }
+    rl = compute_recovery_line(tables, {0: 2, 1: 2})
+    assert set(rl) == {0, 1, 2, 3}
+
+
+def test_min_epoch_wins_on_repeated_updates():
+    # rank 1 sent from epochs 3 and 2 to rank 0 (both rolled back);
+    # it must restart at the smaller epoch.
+    tables = {
+        0: spe({2: {}}),
+        1: spe({2: {0: 3}, 3: {0: 2}}),
+    }
+    rl = compute_recovery_line(tables, {0: 2})
+    assert rl[1][0] == 2
+
+
+def test_failed_rank_can_be_forced_deeper():
+    # failed rank 0 restarts at 3, but it sent from epoch 2 a message that
+    # rank 1 (itself pulled back to 2) received in epoch 2 -> 0 goes to 2.
+    tables = {
+        0: spe({2: {1: 2}, 3: {}}),
+        1: spe({2: {0: 3}}),
+    }
+    rl = compute_recovery_line(tables, {0: 3})
+    assert rl[0][0] == 2
+    assert rl[1][0] == 2
+
+
+def test_dates_come_from_spe_start_dates():
+    tables = {
+        0: spe({2: {}}, start_dates={2: 55}),
+        1: spe({1: {0: 2}}, start_dates={1: 7}),
+    }
+    rl = compute_recovery_line(tables, {0: 2})
+    assert rl[0] == (2, 55)
+    assert rl[1] == (1, 7)
+
+
+def test_missing_epoch_in_spe_raises():
+    tables = {0: spe({2: {}})}
+    with pytest.raises(ProtocolError):
+        compute_recovery_line(tables, {0: 1})
+
+
+def test_no_failures_no_rollback():
+    tables = {0: spe({1: {1: 1}}), 1: spe({1: {0: 1}})}
+    assert compute_recovery_line(tables, {}) == {}
+
+
+def test_monotone_more_failures_never_shrink_line():
+    tables = {
+        0: spe({2: {1: 2}}),
+        1: spe({2: {2: 2}}),
+        2: spe({2: {}}),
+    }
+    rl_one = compute_recovery_line(tables, {2: 2})
+    rl_two = compute_recovery_line(tables, {2: 2, 1: 2})
+    assert set(rl_one) <= set(rl_two)
+    for rank, (e, _) in rl_one.items():
+        assert rl_two[rank][0] <= e

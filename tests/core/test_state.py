@@ -1,0 +1,103 @@
+"""Unit tests for the per-process protocol state (Fig. 3 local variables)."""
+
+import pytest
+
+from repro.core.state import EpochRecord, LoggedMessage, PendingAck, ProtocolState
+
+
+def test_initial_state():
+    st = ProtocolState.initial()
+    assert st.date == 0 and st.epoch == 1 and st.phase == 1
+    assert st.spe[1].start_date == 0
+    assert st.rpp == {} and st.non_ack == [] and st.logs == []
+
+
+def test_initial_state_cluster_epoch():
+    st = ProtocolState.initial(initial_epoch=5)
+    assert st.epoch == 5
+    assert 5 in st.spe
+
+
+def test_next_date_monotonic():
+    st = ProtocolState.initial()
+    assert [st.next_date() for _ in range(3)] == [1, 2, 3]
+
+
+def test_begin_epoch_bumps_epoch_and_phase():
+    st = ProtocolState.initial()
+    st.date = 7
+    st.begin_epoch()
+    assert st.epoch == 2 and st.phase == 2
+    assert st.spe[2].start_date == 7
+
+
+def test_record_rpp_tracks_watermark():
+    st = ProtocolState.initial()
+    st.record_rpp(src=3, date=5)
+    assert st.rpp[1][3] == 5
+    assert st.last_date_from[3] == 5
+    assert st.is_duplicate(3, 5)
+    assert st.is_duplicate(3, 4)
+    assert not st.is_duplicate(3, 6)
+
+
+def test_record_rpp_rejects_non_monotonic():
+    st = ProtocolState.initial()
+    st.record_rpp(src=3, date=5)
+    with pytest.raises(AssertionError):
+        st.record_rpp(src=3, date=5)
+
+
+def test_record_rpp_per_phase_buckets():
+    st = ProtocolState.initial()
+    st.record_rpp(src=2, date=1)
+    st.phase = 4
+    st.record_rpp(src=2, date=2)
+    assert st.rpp == {1: {2: 1}, 4: {2: 2}}
+
+
+def test_record_spe_keeps_max_recv_epoch():
+    st = ProtocolState.initial()
+    st.record_spe(dst=1, epoch_send=1, epoch_recv=2)
+    st.record_spe(dst=1, epoch_send=1, epoch_recv=1)
+    assert st.spe[1].recv_epoch[1] == 2
+
+
+def test_record_spe_recreates_missing_epoch():
+    st = ProtocolState.initial()
+    st.record_spe(dst=1, epoch_send=99, epoch_recv=99)
+    assert st.spe[99].recv_epoch[1] == 99
+
+
+def test_checkpoint_copy_is_deep():
+    st = ProtocolState.initial()
+    st.non_ack.append(PendingAck(dst=1, tag=0, payload=[1, 2], size=8, date=1,
+                                 epoch_send=1, phase_send=1))
+    copy = st.checkpoint_copy()
+    copy.non_ack[0].payload.append(3)
+    assert st.non_ack[0].payload == [1, 2]
+
+
+def test_spe_export_plain_data():
+    st = ProtocolState.initial()
+    st.record_spe(dst=2, epoch_send=1, epoch_recv=1)
+    exp = st.spe_export()
+    assert exp == {1: (0, {2: 1})}
+    # mutating the export must not touch the state
+    exp[1][1][2] = 99
+    assert st.spe[1].recv_epoch[2] == 1
+
+
+def test_logged_counters():
+    st = ProtocolState.initial()
+    st.logs.append(LoggedMessage(dst=1, tag=0, payload=b"abc", size=3, date=1,
+                                 epoch_send=1, phase_send=1, epoch_recv=2))
+    st.logs.append(LoggedMessage(dst=2, tag=0, payload=b"x", size=1, date=2,
+                                 epoch_send=1, phase_send=1, epoch_recv=3))
+    assert st.logged_message_count() == 2
+    assert st.logged_bytes() == 4
+
+
+def test_epoch_record_defaults():
+    rec = EpochRecord(start_date=9)
+    assert rec.start_date == 9 and rec.recv_epoch == {}

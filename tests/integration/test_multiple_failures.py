@@ -1,0 +1,78 @@
+"""Multiple failures: concurrent (same instant) and cascading (across
+recovery rounds).  The paper's Theorem 1 covers concurrent failures; the
+cross-round case exercises the phase-remap extension documented in
+DESIGN.md."""
+
+import pytest
+
+from repro.core import ProtocolConfig
+
+from ..conftest import assert_valid_execution, run_failure_free, run_with_failures
+
+
+def test_two_concurrent_failures(stencil1d_factory, default_config):
+    ref, _ = run_failure_free(6, stencil1d_factory, default_config)
+    world, ctl = run_with_failures(
+        6, stencil1d_factory, [(6e-5, 1), (6e-5, 4)], default_config
+    )
+    assert_valid_execution(ref, world)
+    assert len(ctl.recovery_reports) == 1
+    assert ctl.recovery_reports[0].failed == [1, 4]
+
+
+def test_three_concurrent_failures(stencil1d_factory, default_config):
+    ref, _ = run_failure_free(6, stencil1d_factory, default_config)
+    world, ctl = run_with_failures(
+        6, stencil1d_factory, [(6e-5, 0), (6e-5, 2), (6e-5, 5)], default_config
+    )
+    assert_valid_execution(ref, world)
+    assert ctl.recovery_reports[0].failed == [0, 2, 5]
+
+
+def test_sequential_failures_two_rounds(stencil1d_factory, default_config):
+    ref, _ = run_failure_free(6, stencil1d_factory, default_config)
+    world, ctl = run_with_failures(
+        6, stencil1d_factory, [(5e-5, 1), (1.1e-4, 4)], default_config
+    )
+    assert_valid_execution(ref, world)
+    assert len(ctl.recovery_reports) == 2
+    assert ctl.recovery_reports[0].failed == [1]
+    assert ctl.recovery_reports[1].failed == [4]
+
+
+def test_same_rank_fails_twice(stencil1d_factory, default_config):
+    ref, _ = run_failure_free(6, stencil1d_factory, default_config)
+    world, ctl = run_with_failures(
+        6, stencil1d_factory, [(5e-5, 2), (1.1e-4, 2)], default_config
+    )
+    assert_valid_execution(ref, world)
+    assert len(ctl.recovery_reports) == 2
+
+
+def test_failure_during_recovery_is_queued(stencil1d_factory, default_config):
+    """A failure landing while a round is in flight must wait for the round
+    to settle, then recover correctly."""
+    ref, _ = run_failure_free(6, stencil1d_factory, default_config)
+    world, ctl = run_with_failures(
+        6, stencil1d_factory, [(6e-5, 1), (6.2e-5, 4)], default_config
+    )
+    assert_valid_execution(ref, world)
+    assert len(ctl.recovery_reports) == 2
+
+
+@pytest.mark.parametrize("pair", [(0, 1), (2, 3), (0, 5)])
+def test_concurrent_pairs_2d(stencil2d_factory, default_config, pair):
+    ref, _ = run_failure_free(8, stencil2d_factory, default_config)
+    world, _ = run_with_failures(
+        8, stencil2d_factory, [(7e-5, pair[0]), (7e-5, pair[1])], default_config
+    )
+    assert_valid_execution(ref, world)
+
+
+def test_many_sequential_failures(stencil1d_factory):
+    cfg = ProtocolConfig(checkpoint_interval=2e-5, rank_stagger=3e-6)
+    ref, _ = run_failure_free(6, stencil1d_factory, cfg)
+    failures = [(4e-5, 0), (8e-5, 3), (1.2e-4, 5), (1.6e-4, 1)]
+    world, ctl = run_with_failures(6, stencil1d_factory, failures, cfg)
+    assert_valid_execution(ref, world)
+    assert len(ctl.recovery_reports) == 4

@@ -1,0 +1,48 @@
+"""End-to-end recovery for every NAS-pattern kernel (Theorem 1 at workload
+scale): a failure mid-run must reproduce the failure-free results and send
+sequences."""
+
+import pytest
+
+from repro.apps import BTKernel, CGKernel, FTKernel, LUKernel, MGKernel, SPKernel
+from repro.core import ProtocolConfig
+
+from ..conftest import assert_valid_execution, run_failure_free, run_with_failures
+
+CASES = [
+    ("CG", CGKernel, 16, dict(niters=12, block=4)),
+    ("MG", MGKernel, 8, dict(niters=6, levels=2, block=4)),
+    ("FT", FTKernel, 8, dict(niters=6, slab=2)),
+    ("LU", LUKernel, 8, dict(niters=5, nblocks=2, block=4)),
+    ("BT", BTKernel, 9, dict(niters=6, block=4)),
+    ("SP", SPKernel, 9, dict(niters=4, block=3)),
+]
+
+
+def config():
+    return ProtocolConfig(checkpoint_interval=5e-5, rank_stagger=4e-6)
+
+
+@pytest.mark.parametrize("name,cls,nprocs,kw", CASES, ids=[c[0] for c in CASES])
+def test_kernel_recovers_from_mid_run_failure(name, cls, nprocs, kw):
+    factory = lambda r, s: cls(r, s, **kw)
+    ref, _ = run_failure_free(nprocs, factory, config())
+    mid = ref.engine.now / 2
+    world, ctl = run_with_failures(nprocs, factory, [(mid, nprocs // 2)], config())
+    assert_valid_execution(ref, world)
+    assert len(ctl.recovery_reports) == 1
+
+
+@pytest.mark.parametrize("name,cls,nprocs,kw", CASES[:3], ids=[c[0] for c in CASES[:3]])
+def test_kernel_recovers_from_early_failure(name, cls, nprocs, kw):
+    factory = lambda r, s: cls(r, s, **kw)
+    ref, _ = run_failure_free(nprocs, factory, config())
+    world, _ = run_with_failures(nprocs, factory, [(ref.engine.now / 10, 0)], config())
+    assert_valid_execution(ref, world)
+
+
+def test_cg_converges_across_failure():
+    factory = lambda r, s: CGKernel(r, s, niters=15, block=4)
+    world, _ = run_with_failures(16, factory, [(2e-4, 7)], config())
+    hist = world.programs[0].result()["res_history"]
+    assert hist[-1] < hist[0] * 1e-8

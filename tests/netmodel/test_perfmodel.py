@@ -1,0 +1,96 @@
+"""Tests for the analytic performance model (Fig. 6 shapes)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netmodel import MODES, PerfModel, timing_model_for
+from repro.netmodel import calibration as cal
+
+
+@pytest.fixture
+def model():
+    return PerfModel()
+
+
+def test_modes_enumeration():
+    assert MODES == ("native", "protocol-nolog", "protocol-log")
+
+
+def test_unknown_mode_rejected(model):
+    with pytest.raises(ConfigError):
+        model.one_way_time(8, "bogus")
+    with pytest.raises(ConfigError):
+        timing_model_for("bogus")
+
+
+def test_small_message_latency_overhead_about_15_percent(model):
+    """The paper: ~0.5 us, around 15 % added latency on small messages."""
+    overhead = model.latency_overhead(8, "protocol-nolog")
+    assert 0.10 < overhead < 0.25
+    # logging adds nothing measurable on top for tiny messages
+    log_overhead = model.latency_overhead(8, "protocol-log")
+    assert log_overhead == pytest.approx(overhead, abs=0.01)
+
+
+def test_large_message_nolog_overhead_negligible(model):
+    """Fig. 6: without logging, acknowledging every message costs almost
+    nothing at large sizes."""
+    overhead = model.latency_overhead(8 << 20, "protocol-nolog")
+    assert overhead < 0.01
+
+
+def test_large_message_logging_cuts_bandwidth(model):
+    """Fig. 6: the extra copy visibly caps large-message bandwidth."""
+    native = model.bandwidth_mbps(8 << 20, "native")
+    logged = model.bandwidth_mbps(8 << 20, "protocol-log")
+    assert logged < 0.8 * native
+    nolog = model.bandwidth_mbps(8 << 20, "protocol-nolog")
+    assert nolog == pytest.approx(native, rel=0.02)
+
+
+def test_native_peak_bandwidth_matches_testbed(model):
+    """~9.5 Gb/s Myri-10G asymptote."""
+    peak = model.bandwidth_mbps(8 << 20, "native")
+    assert 8000 < peak < 9600
+
+
+def test_latency_monotone_in_size(model):
+    for mode in MODES:
+        times = [model.one_way_time(1 << k, mode) for k in range(0, 24, 2)]
+        assert times == sorted(times)
+
+
+def test_ordering_native_fastest(model):
+    for size in (1, 1024, 1 << 16, 8 << 20):
+        t_native = model.one_way_time(size, "native")
+        t_nolog = model.one_way_time(size, "protocol-nolog")
+        t_log = model.one_way_time(size, "protocol-log")
+        assert t_native <= t_nolog <= t_log
+
+
+def test_series_covers_all_modes(model):
+    series = model.series([1, 1024])
+    assert set(series) == set(MODES)
+    assert set(series["native"]) == {1, 1024}
+
+
+def test_timing_model_for_mode_parameters():
+    native = timing_model_for("native")
+    nolog = timing_model_for("protocol-nolog")
+    logged = timing_model_for("protocol-log")
+    assert nolog.latency == pytest.approx(native.latency + cal.PIGGYBACK_OVERHEAD)
+    assert logged.per_byte_overhead > 0
+    assert native.per_byte_overhead == 0
+
+
+def test_timing_model_logged_fraction_scales_copy_cost():
+    full = timing_model_for("protocol-log", logged_fraction=1.0)
+    half = timing_model_for("protocol-log", logged_fraction=0.5)
+    assert half.per_byte_overhead == pytest.approx(full.per_byte_overhead / 2)
+
+
+def test_eager_threshold_ack_step(model):
+    below = model.one_way_time(cal.EAGER_THRESHOLD, "protocol-nolog")
+    above = model.one_way_time(cal.EAGER_THRESHOLD + 1, "protocol-nolog")
+    size_cost = 1 / model.bandwidth
+    assert above - below > size_cost  # the residual ack cost kicks in

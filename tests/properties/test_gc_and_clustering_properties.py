@@ -1,0 +1,108 @@
+"""Hypothesis properties: garbage-collection safety and clustering
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.theory import (
+    expected_rollback_fraction,
+    rollback_fraction_given_position,
+)
+from repro.apps.stencil import Stencil1D
+from repro.core import ProtocolConfig, build_ft_world
+from repro.core.clustering import (
+    Clustering,
+    block_clusters,
+    cluster_epochs,
+    modularity_clusters,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    gc_frac=st.floats(min_value=0.1, max_value=0.8),
+    fail_frac=st.floats(min_value=0.2, max_value=0.95),
+    rank=st.integers(min_value=0, max_value=5),
+)
+def test_gc_never_breaks_recovery(gc_frac, fail_frac, rank):
+    """Section III-A-4's safety claim as a property: garbage-collect at a
+    random time, fail a random rank at a random later time — recovery must
+    still find every checkpoint it asks for, and the execution stays
+    valid."""
+    def factory(r, s):
+        return Stencil1D(r, s, niters=30, cells=4)
+
+    cfg = ProtocolConfig(checkpoint_interval=2e-5, rank_stagger=2e-6)
+    ref, _ = _ref_cache(factory, cfg)
+    horizon = ref.engine.now
+    world, ctl = build_ft_world(6, factory, cfg)
+    world.engine.schedule_at(gc_frac * horizon, ctl.collect_garbage)
+    t_fail = max(fail_frac, gc_frac + 0.05) * horizon
+    ctl.inject_failure(t_fail, rank)
+    ctl.arm()
+    world.launch()
+    world.run()
+    for r in range(6):
+        np.testing.assert_allclose(
+            ref.programs[r].result(), world.programs[r].result()
+        )
+
+
+_CACHE = {}
+
+
+def _ref_cache(factory, cfg):
+    key = "stencil6"
+    if key not in _CACHE:
+        world, ctl = build_ft_world(6, factory, cfg)
+        world.launch()
+        world.run()
+        _CACHE[key] = (world, ctl)
+    return _CACHE[key]
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_cluster_epochs_always_distinct_and_spaced(data):
+    nclusters = data.draw(st.integers(min_value=1, max_value=12))
+    spacing = data.draw(st.integers(min_value=2, max_value=5))
+    order = data.draw(st.permutations(list(range(nclusters))))
+    cluster_of = [c for c in range(nclusters) for _ in range(2)]
+    epochs = cluster_epochs(cluster_of, spacing, list(order))
+    values = sorted(epochs.values())
+    assert len(set(values)) == nclusters
+    assert all(b - a >= 2 for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_reconfiguration_never_exceeds_half_inter(data):
+    n = data.draw(st.sampled_from([8, 12, 16]))
+    ncl = data.draw(st.sampled_from([2, 4]))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    m = rng.integers(0, 40, size=(n, n))
+    np.fill_diagonal(m, 0)
+    best = Clustering(block_clusters(n, ncl), m).reconfigure_epochs()
+    assert best.predicted_log_fraction() <= best.isolation() / 2 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_modularity_clusters_are_balanced_partition(data):
+    n = data.draw(st.sampled_from([8, 12, 16]))
+    ncl = data.draw(st.sampled_from([2, 4]))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    m = rng.integers(0, 10, size=(n, n))
+    np.fill_diagonal(m, 0)
+    clusters = modularity_clusters(m, ncl)
+    assert len(clusters) == n
+    assert set(clusters) <= set(range(ncl))
+    sizes = [clusters.count(c) for c in range(ncl)]
+    assert max(sizes) <= 2 * n / ncl + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=st.integers(min_value=1, max_value=64))
+def test_theory_is_average_of_positions(p):
+    avg = sum(rollback_fraction_given_position(p, k) for k in range(p)) / p
+    assert abs(avg - expected_rollback_fraction(p)) < 1e-12

@@ -1,0 +1,122 @@
+"""Property-based tests of the simulator substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import RankProgram
+from repro.simmpi import World
+from repro.simmpi.engine import Engine
+from repro.simmpi.message import Envelope
+from repro.simmpi.network import Network, TimingModel
+from repro.simmpi.topology import CartGrid, balanced_dims
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e-3,
+                                 allow_nan=False), min_size=1, max_size=40))
+def test_engine_dispatches_in_nondecreasing_time(delays):
+    eng = Engine()
+    times = []
+    for d in delays:
+        eng.schedule(d, lambda: times.append(eng.now))
+    eng.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=10**7),
+                      min_size=1, max_size=30),
+       jitter=st.floats(min_value=0.0, max_value=0.9))
+def test_network_fifo_per_channel(sizes, jitter):
+    eng = Engine()
+    net = Network(eng, TimingModel(latency=1e-6, bandwidth=1e8, jitter=jitter),
+                  seed=1)
+    seen = []
+    net.attach(1, lambda env: seen.append(env.meta["k"]))
+    for k, size in enumerate(sizes):
+        env = Envelope(src=0, dst=1, tag=0, payload=b"", size=size)
+        env.meta["k"] = k
+        net.transmit(env)
+    eng.run()
+    assert seen == list(range(len(sizes)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=512),
+       d=st.integers(min_value=1, max_value=4))
+def test_balanced_dims_always_factor(n, d):
+    dims = balanced_dims(n, d)
+    prod = 1
+    for x in dims:
+        prod *= x
+    assert prod == n and len(dims) == d
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                     max_size=3))
+def test_cart_grid_shift_inverse(dims):
+    g = CartGrid(tuple(dims), periodic=True)
+    for rank in range(g.size):
+        for dim in range(g.ndims):
+            fwd = g.shift(rank, dim, +1)
+            assert fwd is not None
+            assert g.shift(fwd, dim, -1) == rank
+
+
+class RandomRing(RankProgram):
+    """Ring reduction with seeded per-rank payload sizes; used to check the
+    whole substrate is deterministic for a given seed."""
+
+    def __init__(self, rank, size, seed=0):
+        super().__init__(rank, size)
+        rng = np.random.default_rng(seed * 1000 + rank)
+        self.state = {"it": 0, "niters": 5,
+                      "data": rng.standard_normal(1 + rank % 3), "acc": 0.0}
+
+    def run(self, api):
+        nxt = (api.rank + 1) % api.size
+        prv = (api.rank - 1) % api.size
+        while self.state["it"] < self.state["niters"]:
+            yield api.send(nxt, self.state["data"].copy(), tag=1)
+            got = yield api.recv(prv, tag=1)
+            self.state["acc"] += float(np.sum(got))
+            total = yield from api.allreduce(self.state["acc"])
+            self.state["acc"] = total / api.size
+            self.state["it"] += 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000),
+       n=st.integers(min_value=2, max_value=7))
+def test_simulation_bit_reproducible(seed, n):
+    def run():
+        world = World(n, lambda r, s: RandomRing(r, s, seed=seed))
+        world.launch()
+        t = world.run()
+        return t, [p.state["acc"] for p in world.programs], \
+            world.tracer.total_app_messages()
+
+    assert run() == run()
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=9),
+       values=st.lists(st.floats(min_value=-100, max_value=100,
+                                 allow_nan=False), min_size=9, max_size=9))
+def test_allreduce_matches_local_sum(n, values):
+    class P(RankProgram):
+        def __init__(self, rank, size):
+            super().__init__(rank, size)
+            self.state = {"out": None}
+
+        def run(self, api):
+            self.state["out"] = yield from api.allreduce(values[api.rank])
+
+    world = World(n, P)
+    world.launch()
+    world.run()
+    expected = sum(values[:n])
+    for p in world.programs:
+        assert abs(p.state["out"] - expected) < 1e-9 * max(1.0, abs(expected))

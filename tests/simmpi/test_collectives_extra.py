@@ -1,0 +1,85 @@
+"""Tests for the extended collectives: scan, reduce_scatter, sendrecv."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import RankProgram
+from repro.simmpi import World
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+class ExtraColl(RankProgram):
+    def __init__(self, rank, size):
+        super().__init__(rank, size)
+        self.state = {"res": {}}
+
+    def run(self, api):
+        res = self.state["res"]
+        res["scan"] = yield from api.scan(api.rank + 1)
+        res["scan_max"] = yield from api.scan(api.rank, op=max)
+        res["rs"] = yield from api.reduce_scatter(
+            [api.rank * 10 + j for j in range(api.size)]
+        )
+        nxt = (api.rank + 1) % api.size
+        prv = (api.rank - 1) % api.size
+        res["sr"] = yield from api.sendrecv(nxt, api.rank, prv, tag=4)
+
+
+@pytest.fixture(params=SIZES)
+def world(request):
+    w = World(request.param, ExtraColl)
+    w.launch()
+    w.run()
+    return w
+
+
+def test_scan_inclusive_prefix(world):
+    for rank, p in enumerate(world.programs):
+        assert p.state["res"]["scan"] == sum(range(1, rank + 2))
+
+
+def test_scan_custom_op(world):
+    for rank, p in enumerate(world.programs):
+        assert p.state["res"]["scan_max"] == rank
+
+
+def test_reduce_scatter_elementwise(world):
+    n = world.nprocs
+    for rank, p in enumerate(world.programs):
+        expected = sum(r * 10 + rank for r in range(n))
+        assert p.state["res"]["rs"] == expected
+
+
+def test_sendrecv_ring(world):
+    n = world.nprocs
+    for rank, p in enumerate(world.programs):
+        assert p.state["res"]["sr"] == (rank - 1) % n
+
+
+def test_reduce_scatter_arity_check():
+    class Bad(RankProgram):
+        def run(self, api):
+            yield from api.reduce_scatter([1])
+
+    w = World(3, Bad)
+    w.launch()
+    with pytest.raises(ValueError):
+        w.run()
+
+
+def test_scan_non_commutative_order():
+    """The linear pipeline preserves left-to-right application order."""
+    class P(RankProgram):
+        def __init__(self, rank, size):
+            super().__init__(rank, size)
+            self.state = {"s": None}
+
+        def run(self, api):
+            self.state["s"] = yield from api.scan(str(api.rank),
+                                                  op=lambda a, b: a + b)
+
+    w = World(5, P)
+    w.launch()
+    w.run()
+    assert w.programs[4].state["s"] == "01234"

@@ -1,0 +1,159 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simmpi.engine import Engine
+
+
+def test_initial_clock_zero():
+    assert Engine().now == 0.0
+
+
+def test_events_run_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(3e-6, lambda: order.append("c"))
+    eng.schedule(1e-6, lambda: order.append("a"))
+    eng.schedule(2e-6, lambda: order.append("b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(1e-6, lambda i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    eng = Engine()
+    seen = []
+    eng.schedule(5e-6, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [5e-6]
+    assert eng.now == 5e-6
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_skipped():
+    eng = Engine()
+    fired = []
+    handle = eng.schedule(1e-6, lambda: fired.append("x"))
+    handle.cancel()
+    eng.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_twice_is_noop():
+    eng = Engine()
+    handle = eng.schedule(1e-6, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    eng.run()
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(7e-6, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [7e-6]
+
+
+def test_schedule_at_past_runs_now():
+    eng = Engine()
+    eng.schedule(5e-6, lambda: eng.schedule_at(1e-6, lambda: None))
+    eng.run()  # must not raise "time went backwards"
+    assert eng.now == 5e-6
+
+
+def test_events_can_schedule_events():
+    eng = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        eng.schedule(1e-6, lambda: order.append("second"))
+
+    eng.schedule(1e-6, first)
+    eng.run()
+    assert order == ["first", "second"]
+    assert eng.now == pytest.approx(2e-6)
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+    fired = []
+    eng.schedule(1e-6, lambda: fired.append(1))
+    eng.schedule(10e-6, lambda: fired.append(2))
+    eng.run(until=5e-6)
+    assert fired == [1]
+    assert eng.now == 5e-6
+    eng.run()
+    assert fired == [1, 2]
+
+
+def test_run_max_events():
+    eng = Engine()
+    fired = []
+    for i in range(5):
+        eng.schedule(1e-6 * (i + 1), lambda i=i: fired.append(i))
+    eng.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_pending_counts_non_cancelled():
+    eng = Engine()
+    h1 = eng.schedule(1e-6, lambda: None)
+    eng.schedule(2e-6, lambda: None)
+    assert eng.pending == 2
+    h1.cancel()
+    assert eng.pending == 1
+
+
+def test_events_dispatched_counter():
+    eng = Engine()
+    for i in range(4):
+        eng.schedule(1e-6, lambda: None)
+    eng.run()
+    assert eng.events_dispatched == 4
+
+
+def test_reentrant_run_rejected():
+    eng = Engine()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    eng.schedule(1e-6, reenter)
+    eng.run()
+
+
+def test_call_soon_runs_at_current_time():
+    eng = Engine()
+    times = []
+    eng.schedule(3e-6, lambda: eng.call_soon(lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [3e-6]
+
+
+def test_determinism_across_runs():
+    def build():
+        eng = Engine()
+        order = []
+        for i in range(50):
+            eng.schedule((i * 7919 % 13) * 1e-7, lambda i=i: order.append(i))
+        eng.run()
+        return order
+
+    assert build() == build()

@@ -1,0 +1,79 @@
+"""Unit tests for envelopes and payload sizing."""
+
+import numpy as np
+
+from repro.simmpi.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COLLECTIVE_TAG_BASE,
+    CONTROL_TAG_BASE,
+    Envelope,
+    payload_nbytes,
+)
+
+
+def test_wildcards_are_negative():
+    assert ANY_SOURCE < 0 and ANY_TAG < 0
+
+
+def test_payload_nbytes_numpy():
+    arr = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes(arr) == 800
+
+
+def test_payload_nbytes_bytes():
+    assert payload_nbytes(b"abcd") == 4
+
+
+def test_payload_nbytes_scalars():
+    assert payload_nbytes(3) == 8
+    assert payload_nbytes(3.5) == 8
+    assert payload_nbytes(None) == 8
+    assert payload_nbytes(True) == 8
+
+
+def test_payload_nbytes_str():
+    assert payload_nbytes("hello") == 5
+
+
+def test_payload_nbytes_containers_nest():
+    assert payload_nbytes([1, 2]) == 16 + 16
+    assert payload_nbytes({"a": 1}) == 16 + 1 + 8
+
+
+def test_payload_nbytes_fallback():
+    class Thing:
+        pass
+
+    assert payload_nbytes(Thing()) == 64
+
+
+def test_envelope_size_defaults_to_payload():
+    env = Envelope(src=0, dst=1, tag=0, payload=np.zeros(10))
+    assert env.size == 80
+
+
+def test_envelope_explicit_size_kept():
+    env = Envelope(src=0, dst=1, tag=0, payload=b"", size=4096)
+    assert env.size == 4096
+
+
+def test_envelope_uids_unique_and_increasing():
+    a = Envelope(src=0, dst=1, tag=0, payload=1)
+    b = Envelope(src=0, dst=1, tag=0, payload=1)
+    assert b.uid > a.uid
+
+
+def test_tag_classification():
+    app = Envelope(src=0, dst=1, tag=5, payload=1)
+    coll = Envelope(src=0, dst=1, tag=COLLECTIVE_TAG_BASE - 3, payload=1)
+    ctl = Envelope(src=0, dst=1, tag=CONTROL_TAG_BASE - 1, payload=1)
+    assert not app.is_control and not app.is_collective
+    assert coll.is_collective and not coll.is_control
+    assert ctl.is_control and not ctl.is_collective
+
+
+def test_describe_mentions_endpoints():
+    env = Envelope(src=2, dst=7, tag=9, payload=1)
+    s = env.describe()
+    assert "2->7" in s and "tag=9" in s

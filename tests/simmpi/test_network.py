@@ -1,0 +1,130 @@
+"""Unit tests for the FIFO network and timing model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simmpi.engine import Engine
+from repro.simmpi.message import Envelope
+from repro.simmpi.network import Network, TimingModel
+
+
+def make_net(timing=None, ranks=(0, 1, 2)):
+    eng = Engine()
+    net = Network(eng, timing)
+    inboxes = {r: [] for r in ranks}
+    for r in ranks:
+        net.attach(r, lambda env, r=r: inboxes[r].append(env))
+    return eng, net, inboxes
+
+
+def env(src, dst, size=8, tag=0):
+    return Envelope(src=src, dst=dst, tag=tag, payload=b"x" * size, size=size)
+
+
+def test_basic_delivery():
+    eng, net, inboxes = make_net()
+    net.transmit(env(0, 1))
+    eng.run()
+    assert len(inboxes[1]) == 1
+
+
+def test_transit_time_latency_plus_bandwidth():
+    tm = TimingModel(latency=1e-6, bandwidth=1e9)
+    assert tm.transit_time(0) == pytest.approx(1e-6)
+    assert tm.transit_time(1000) == pytest.approx(2e-6)
+
+
+def test_sender_cpu_time():
+    tm = TimingModel(send_overhead=1e-7, per_byte_overhead=1e-9)
+    assert tm.sender_cpu_time(100) == pytest.approx(1e-7 + 1e-7)
+
+
+def test_fifo_within_channel_despite_sizes():
+    # A large (slow) message followed by a tiny one on the same channel must
+    # not be overtaken.
+    eng, net, inboxes = make_net(TimingModel(latency=1e-6, bandwidth=1e6))
+    big = env(0, 1, size=10_000, tag=1)
+    small = env(0, 1, size=1, tag=2)
+    net.transmit(big)
+    net.transmit(small)
+    eng.run()
+    assert [e.tag for e in inboxes[1]] == [1, 2]
+
+
+def test_cross_channel_reordering_allowed():
+    # different channels: a later small message from another sender may
+    # arrive first
+    eng, net, inboxes = make_net(TimingModel(latency=1e-6, bandwidth=1e6))
+    net.transmit(env(0, 2, size=100_000, tag=1))
+    net.transmit(env(1, 2, size=1, tag=2))
+    eng.run()
+    assert [e.tag for e in inboxes[2]] == [2, 1]
+
+
+def test_unknown_destination_rejected():
+    eng, net, _ = make_net()
+    with pytest.raises(SimulationError):
+        net.transmit(env(0, 99))
+
+
+def test_purge_inbound_drops_in_flight():
+    eng, net, inboxes = make_net()
+    net.transmit(env(0, 1))
+    net.transmit(env(0, 1))
+    assert net.purge_inbound(1) == 2
+    eng.run()
+    assert inboxes[1] == []
+    assert net.messages_dropped == 2
+
+
+def test_purge_all():
+    eng, net, inboxes = make_net()
+    net.transmit(env(0, 1))
+    net.transmit(env(1, 2))
+    assert net.purge_all() == 2
+    eng.run()
+    assert inboxes[1] == [] and inboxes[2] == []
+
+
+def test_in_flight_count():
+    eng, net, _ = make_net()
+    net.transmit(env(0, 1))
+    net.transmit(env(0, 2))
+    assert net.in_flight_count() == 2
+    assert net.in_flight_count(1) == 1
+    eng.run()
+    assert net.in_flight_count() == 0
+
+
+def test_counters():
+    eng, net, _ = make_net()
+    net.transmit(env(0, 1, size=100))
+    net.transmit(env(0, 2, size=50))
+    eng.run()
+    assert net.messages_sent == 2
+    assert net.messages_delivered == 2
+    assert net.bytes_sent == 150
+
+
+def test_jitter_is_deterministic_per_seed():
+    def arrivals(seed):
+        eng = Engine()
+        net = Network(eng, TimingModel(latency=1e-6, bandwidth=1e9, jitter=0.5),
+                      seed=seed)
+        times = []
+        net.attach(1, lambda e: times.append(eng.now))
+        for _ in range(10):
+            net.transmit(env(0, 1))
+        eng.run()
+        return times
+
+    assert arrivals(7) == arrivals(7)
+    assert arrivals(7) != arrivals(8)
+
+
+def test_zero_latency_model_works():
+    eng, net, inboxes = make_net(TimingModel(latency=0.0, bandwidth=1e12,
+                                             send_overhead=0.0))
+    net.transmit(env(0, 1))
+    eng.run()
+    assert len(inboxes[1]) == 1

@@ -1,0 +1,276 @@
+"""Unit tests for process operations (send/recv/isend/irecv/compute/...)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import RankProgram
+from repro.errors import DeadlockError, SimulationError
+from repro.simmpi import ANY_SOURCE, ANY_TAG, World
+from repro.simmpi.process import Status
+
+
+class Script(RankProgram):
+    """Runs a rank-indexed generator function from ``bodies``."""
+
+    bodies = {}
+
+    def __init__(self, rank, size):
+        super().__init__(rank, size)
+        self.state = {"out": []}
+
+    def run(self, api):
+        body = self.bodies.get(api.rank)
+        if body is None:
+            return
+            yield  # pragma: no cover
+        yield from body(api, self.state["out"])
+
+
+def run_script(nprocs, bodies, **kw):
+    cls = type("S", (Script,), {"bodies": bodies})
+    world = World(nprocs, cls, **kw)
+    world.launch()
+    world.run()
+    return world
+
+
+def test_blocking_send_recv():
+    def p0(api, out):
+        yield api.send(1, "hello", tag=3)
+
+    def p1(api, out):
+        msg = yield api.recv(0, tag=3)
+        out.append(msg)
+
+    w = run_script(2, {0: p0, 1: p1})
+    assert w.programs[1].state["out"] == ["hello"]
+
+
+def test_any_source_any_tag():
+    def sender(api, out):
+        yield api.send(2, api.rank * 10, tag=api.rank)
+
+    def p2(api, out):
+        a = yield api.recv(ANY_SOURCE, ANY_TAG)
+        b = yield api.recv(ANY_SOURCE, ANY_TAG)
+        out.extend(sorted([a, b]))
+
+    w = run_script(3, {0: sender, 1: sender, 2: p2})
+    assert w.programs[2].state["out"] == [0, 10]
+
+
+def test_recv_with_status():
+    def p0(api, out):
+        yield api.send(1, b"xyz", tag=9)
+
+    def p1(api, out):
+        payload, status = yield api.recv(0, tag=9, with_status=True)
+        out.append((payload, status.source, status.tag, status.size))
+
+    w = run_script(2, {0: p0, 1: p1})
+    assert w.programs[1].state["out"] == [(b"xyz", 0, 9, 3)]
+
+
+def test_tag_matching_skips_unexpected():
+    def p0(api, out):
+        yield api.send(1, "first", tag=1)
+        yield api.send(1, "second", tag=2)
+
+    def p1(api, out):
+        b = yield api.recv(0, tag=2)
+        a = yield api.recv(0, tag=1)
+        out.extend([a, b])
+
+    w = run_script(2, {0: p0, 1: p1})
+    assert w.programs[1].state["out"] == ["first", "second"]
+
+
+def test_isend_irecv_waitall():
+    def p0(api, out):
+        reqs = []
+        for i in range(4):
+            reqs.append((yield api.isend(1, i, tag=i)))
+        yield api.waitall(reqs)
+
+    def p1(api, out):
+        reqs = []
+        for i in range(4):
+            reqs.append((yield api.irecv(0, tag=i)))
+        values = yield api.waitall(reqs)
+        out.extend(values)
+
+    w = run_script(2, {0: p0, 1: p1})
+    assert w.programs[1].state["out"] == [0, 1, 2, 3]
+
+
+def test_wait_single_request():
+    def p0(api, out):
+        yield api.send(1, 42, tag=0)
+
+    def p1(api, out):
+        req = yield api.irecv(0, tag=0)
+        value = yield api.wait(req)
+        out.append(value)
+
+    w = run_script(2, {0: p0, 1: p1})
+    assert w.programs[1].state["out"] == [42]
+
+
+def test_compute_advances_clock():
+    def p0(api, out):
+        t0 = yield api.now()
+        yield api.compute(1e-3)
+        t1 = yield api.now()
+        out.append(t1 - t0)
+
+    w = run_script(1, {0: p0})
+    assert w.programs[0].state["out"][0] == pytest.approx(1e-3)
+
+
+def test_negative_compute_rejected():
+    def p0(api, out):
+        yield api.compute(-1.0)
+
+    with pytest.raises(SimulationError):
+        run_script(1, {0: p0})
+
+
+def test_deadlock_detection_reports_blocked():
+    def p0(api, out):
+        yield api.recv(1, tag=0)  # never sent
+
+    def p1(api, out):
+        return
+        yield
+
+    with pytest.raises(DeadlockError) as exc:
+        run_script(2, {0: p0, 1: p1})
+    assert 0 in exc.value.blocked
+    assert "recv" in exc.value.blocked[0]
+
+
+def test_negative_app_tag_rejected():
+    def p0(api, out):
+        yield api.send(1, 1, tag=-2_000_000)
+
+    def p1(api, out):
+        yield api.recv(0, tag=-2_000_000)
+
+    with pytest.raises(SimulationError):
+        run_script(2, {0: p0, 1: p1})
+
+
+def test_unexpected_queue_buffers_early_messages():
+    def p0(api, out):
+        for i in range(5):
+            yield api.send(1, i, tag=0)
+
+    def p1(api, out):
+        yield api.compute(1e-3)  # let the messages pile up
+        for _ in range(5):
+            out.append((yield api.recv(0, tag=0)))
+
+    w = run_script(2, {0: p0, 1: p1})
+    assert w.programs[1].state["out"] == list(range(5))
+
+
+def test_payload_copied_on_send_by_default():
+    def p0(api, out):
+        buf = np.zeros(4)
+        yield api.send(1, buf, tag=0)
+        buf[:] = 99.0  # mutate after send: receiver must not see it
+
+    def p1(api, out):
+        data = yield api.recv(0, tag=0)
+        out.append(data.copy())
+
+    w = run_script(2, {0: p0, 1: p1})
+    np.testing.assert_array_equal(w.programs[1].state["out"][0], np.zeros(4))
+
+
+def test_message_counters():
+    def p0(api, out):
+        yield api.send(1, 1, tag=0)
+        yield api.send(1, 2, tag=0)
+
+    def p1(api, out):
+        yield api.recv(0, tag=0)
+        yield api.recv(0, tag=0)
+
+    w = run_script(2, {0: p0, 1: p1})
+    assert w.procs[0].app_messages_sent == 2
+    assert w.procs[1].app_messages_received == 2
+
+
+def test_forced_checkpoint_with_posted_recv_rejected():
+    def p0(api, out):
+        yield api.irecv(1, tag=0)
+        yield api.checkpoint()
+
+    def p1(api, out):
+        yield api.compute(1.0)
+        yield api.send(0, 1, tag=0)
+
+    with pytest.raises(SimulationError):
+        run_script(2, {0: p0, 1: p1})
+
+
+def test_maybe_checkpoint_defaults_to_not_taken():
+    def p0(api, out):
+        taken = yield api.maybe_checkpoint()
+        out.append(taken)
+
+    w = run_script(1, {0: p0})
+    assert w.programs[0].state["out"] == [False]
+
+
+def test_forced_checkpoint_returns_true():
+    def p0(api, out):
+        taken = yield api.checkpoint()
+        out.append(taken)
+
+    w = run_script(1, {0: p0})
+    assert w.programs[0].state["out"] == [True]
+
+
+def test_pause_defers_execution():
+    world_holder = {}
+
+    def p0(api, out):
+        yield api.compute(1e-6)
+        out.append("ran")
+
+    cls = type("S", (Script,), {"bodies": {0: p0}})
+    world = World(1, cls)
+    world_holder["w"] = world
+    world.procs[0].pause()
+    world.launch()
+    world.engine.run(until=1.0)
+    assert world.programs[0].state["out"] == []
+    world.procs[0].unpause()
+    world.run()
+    assert world.programs[0].state["out"] == ["ran"]
+
+
+def test_reincarnate_clears_queues():
+    def p0(api, out):
+        yield api.send(1, 1, tag=0)
+
+    def p1(api, out):
+        yield api.compute(1.0)
+
+    cls = type("S", (Script,), {"bodies": {0: p0, 1: p1}})
+    world = World(2, cls)
+    world.launch()
+    world.run()
+    proc = world.procs[1]
+    assert len(proc.unexpected) == 1
+    inc = proc.incarnation
+    proc.reincarnate()
+    assert len(proc.unexpected) == 0
+    assert proc.incarnation == inc + 1
+
+
+def test_world_requires_at_least_one_rank():
+    with pytest.raises(SimulationError):
+        World(0, lambda r, s: None)

@@ -1,0 +1,90 @@
+"""Unit tests for World-level behaviour not covered elsewhere."""
+
+import pytest
+
+from repro.apps.base import RankProgram
+from repro.errors import DeadlockError, ReproError, SimulationError
+from repro.simmpi import World
+from repro.simmpi.message import CONTROL_TAG_BASE, Envelope
+
+
+class Quick(RankProgram):
+    def run(self, api):
+        yield api.compute(1e-6)
+
+
+def test_on_all_done_callback():
+    world = World(3, Quick)
+    fired = []
+    world.on_all_done = lambda: fired.append(world.engine.now)
+    world.launch()
+    world.run()
+    assert fired == [1e-6]
+
+
+def test_all_done_flag():
+    world = World(2, Quick)
+    assert not world.all_done
+    world.launch()
+    world.run()
+    assert world.all_done
+
+
+def test_note_rank_restarted_rearms_completion():
+    world = World(1, Quick)
+    world.launch()
+    world.run()
+    assert world.all_done
+    world.note_rank_restarted()
+    proc = world.procs[0]
+    proc.reincarnate()
+    world.programs[0].restore({})
+    proc.start(world.programs[0].run(world.apis[0]))
+    world.run()
+    assert world.all_done
+
+
+def test_transmit_control_requires_control_tag():
+    world = World(2, Quick)
+    with pytest.raises(SimulationError):
+        world.transmit_control(Envelope(src=0, dst=1, tag=5, payload={}))
+    world.transmit_control(
+        Envelope(src=0, dst=1, tag=CONTROL_TAG_BASE - 1, payload={})
+    )
+
+
+def test_run_until_leaves_programs_unfinished():
+    class Slow(RankProgram):
+        def run(self, api):
+            yield api.compute(1.0)
+
+    world = World(2, Slow)
+    world.launch()
+    world.run(until=0.5, expect_completion=False)
+    assert not world.all_done
+    world.run_until_quiescent()
+    assert world.all_done
+
+
+def test_record_events_toggle():
+    world = World(2, EchoPair, record_events=True)
+    world.launch()
+    world.run()
+    kinds = {e.kind for e in world.tracer.events}
+    assert "send" in kinds and "deliver" in kinds
+
+
+class EchoPair(RankProgram):
+    def run(self, api):
+        if api.rank == 0:
+            yield api.send(1, "x", tag=0)
+        else:
+            yield api.recv(0, tag=0)
+
+
+def test_error_hierarchy():
+    assert issubclass(DeadlockError, SimulationError)
+    assert issubclass(SimulationError, ReproError)
+    err = DeadlockError("stuck", {0: "recv"})
+    assert err.blocked == {0: "recv"}
+    assert DeadlockError("stuck").blocked == {}

@@ -1,0 +1,119 @@
+"""Unit tests for the tracer: sequences, digests, matrices, dedup."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SendDeterminismError
+from repro.simmpi.message import Envelope
+from repro.simmpi.trace import SendRecord, Tracer, payload_digest
+
+
+def env(src, dst, payload=1, tag=0, date=None):
+    e = Envelope(src=src, dst=dst, tag=tag, payload=payload)
+    if date is not None:
+        e.meta["date"] = date
+    return e
+
+
+def test_payload_digest_numpy_content_sensitive():
+    a = np.arange(4.0)
+    b = np.arange(4.0)
+    c = np.arange(4.0) + 1
+    assert payload_digest(a) == payload_digest(b)
+    assert payload_digest(a) != payload_digest(c)
+
+
+def test_payload_digest_shape_sensitive():
+    a = np.zeros((2, 3))
+    b = np.zeros((3, 2))
+    assert payload_digest(a) != payload_digest(b)
+
+
+def test_payload_digest_containers():
+    assert payload_digest([1, 2]) == payload_digest([1, 2])
+    assert payload_digest({"a": 1}) == payload_digest({"a": 1})
+    assert payload_digest((1,)) != payload_digest((2,))
+
+
+def test_payload_digest_unhashable_fallback():
+    class Weird:
+        __hash__ = None
+
+        def __repr__(self):
+            return "weird"
+
+    assert payload_digest(Weird()) == payload_digest(Weird())
+
+
+def test_send_record_equality_and_same_message():
+    a = SendRecord.of(env(0, 1, payload=5, date=3))
+    b = SendRecord.of(env(0, 1, payload=5, date=9))
+    assert a != b            # dates differ
+    assert a.same_message(b)  # contents identical
+
+
+def test_comm_matrix_counts_and_bytes():
+    t = Tracer(3)
+    t.on_app_send(env(0, 1, payload=np.zeros(10)), 0.0)
+    t.on_app_send(env(0, 1, payload=np.zeros(10)), 0.0)
+    t.on_app_send(env(2, 0, payload=np.zeros(5)), 0.0)
+    m = t.comm_matrix()
+    assert m[0, 1] == 2 and m[2, 0] == 1 and m.sum() == 3
+    b = t.comm_matrix("bytes")
+    assert b[0, 1] == 160 and b[2, 0] == 40
+
+
+def test_comm_matrix_unknown_weight():
+    with pytest.raises(ValueError):
+        Tracer(2).comm_matrix("volume")
+
+
+def test_replay_dup_not_counted_in_matrix():
+    t = Tracer(2)
+    e = env(0, 1, date=1)
+    e.meta["replayed"] = True
+    t.on_app_send(e, 0.0, is_replay_dup=True)
+    assert t.comm_matrix().sum() == 0
+    assert len(t.send_sequences(dedup=False)[0]) == 1
+    assert len(t.send_sequences(dedup=True)[0]) == 0
+
+
+def test_logical_sequences_collapse_by_date():
+    t = Tracer(2)
+    t.on_app_send(env(0, 1, payload=7, date=1), 0.0)
+    t.on_app_send(env(0, 1, payload=8, date=2), 0.0)
+    t.on_app_send(env(0, 1, payload=7, date=1), 0.0)  # re-execution re-send
+    seq = t.logical_send_sequences()[0]
+    assert [r.date for r in seq] == [1, 2]
+
+
+def test_logical_sequences_detect_content_divergence():
+    t = Tracer(2)
+    t.on_app_send(env(0, 1, payload=7, date=1), 0.0)
+    t.on_app_send(env(0, 1, payload=999, date=1), 0.0)  # same date, new content
+    with pytest.raises(SendDeterminismError):
+        t.logical_send_sequences()
+
+
+def test_logical_sequences_without_dates_pass_through():
+    t = Tracer(1)
+    t.on_app_send(env(0, 0, payload=1), 0.0)
+    t.on_app_send(env(0, 0, payload=1), 0.0)
+    assert len(t.logical_send_sequences()[0]) == 2
+
+
+def test_deliver_sequences():
+    t = Tracer(2)
+    t.on_app_deliver(env(0, 1, payload=b"abc", tag=4), 1.0)
+    assert t.deliver_sequences()[1] == [(0, 4, 3)]
+
+
+def test_event_recording_toggle():
+    t = Tracer(2, record_events=True)
+    t.on_app_send(env(0, 1), 0.5)
+    t.on_mark("checkpoint", 0, 0.6, (2,))
+    kinds = [e.kind for e in t.events]
+    assert kinds == ["send", "checkpoint"]
+    t2 = Tracer(2, record_events=False)
+    t2.on_app_send(env(0, 1), 0.5)
+    assert t2.events == []

@@ -1,0 +1,48 @@
+"""CLI smoke tests (argument parsing + each command end to end)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["pattern", "ZZ"])
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--ranks", "8", "--clusters", "2",
+                 "--fail-rank", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "rolled back" in out
+    assert "validity" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--kernels", "CG", "--ranks", "16",
+                 "--clusters", "4", "--niters", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "%log" in out and "theoretical" in out
+
+
+def test_fig6_command(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "lat_native_us" in out
+
+
+def test_pattern_command(capsys):
+    assert main(["pattern", "CG", "--ranks", "16", "--clusters", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "locality" in out
+
+
+def test_domino_command(capsys):
+    assert main(["domino", "--ranks", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "rolled back" in out
