@@ -82,3 +82,47 @@ def test_alltoall_heavy_workload_rate(benchmark):
 
     msgs = benchmark(run)
     assert msgs >= 32 * 31 * 2
+
+
+def test_instrumentation_overhead_factor(benchmark):
+    """Cost of the observability layer on the full protocol stack.
+
+    Disabled (the default null registry) must be near-free — the hot paths
+    pay one identity comparison per event.  Enabled collection is allowed
+    to cost real time, but not an order of magnitude.
+    """
+    import time
+
+    from repro.obs import MetricsRegistry
+
+    def run(obs=None):
+        world, _ = build_ft_world(
+            8, lambda r, s: Stencil2D(r, s, niters=30, block=3),
+            ProtocolConfig(checkpoint_interval=3e-5, lightweight=True,
+                           retain_payloads=False),
+            copy_payloads=False, obs=obs,
+        )
+        world.launch()
+        world.run()
+
+    def timed(**kw):
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            run(**kw)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    run()  # warm-up
+    t_off = timed()
+    t_on = timed(obs=MetricsRegistry())
+    off_factor = t_off / t_off  # baseline row
+    on_factor = t_on / t_off if t_off else float("inf")
+    emit("instrumentation_overhead.txt", format_table(
+        ["configuration", "wall s", "factor"],
+        [["obs disabled (default)", f"{t_off:.3f}", f"{off_factor:.2f}"],
+         ["obs enabled", f"{t_on:.3f}", f"{on_factor:.2f}"]],
+    ))
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    # enabled collection may cost, but must stay the same order of magnitude
+    assert on_factor < 10

@@ -6,7 +6,9 @@ Thin front-end over the library for the common workflows:
 * ``table1`` — regenerate Table I for chosen kernels/sizes/clusters;
 * ``fig6`` — print the ping-pong latency/bandwidth table;
 * ``pattern`` — print a kernel's communication matrix with clustering;
-* ``domino`` — quantify the domino effect vs the protocol.
+* ``domino`` — quantify the domino effect vs the protocol;
+* ``obs`` — run an instrumented scenario and dump the metrics/trace
+  streams as JSON-lines or CSV (see ``docs/observability.md``).
 
 Each command prints the paper-style output the benchmarks save under
 ``results/`` but lets users pick parameters interactively.
@@ -66,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     dom = sub.add_parser("domino", help="domino effect vs the protocol")
     dom.add_argument("--ranks", type=int, default=12)
+
+    obs = sub.add_parser(
+        "obs", help="run an instrumented scenario, dump metrics/trace streams"
+    )
+    obs.add_argument("--ranks", type=int, default=8)
+    obs.add_argument("--clusters", type=int, default=2)
+    obs.add_argument("--fail-rank", type=int, default=None,
+                     help="rank to kill mid-run (default: last rank)")
+    obs.add_argument("--no-failure", action="store_true",
+                     help="measure a failure-free execution")
+    obs.add_argument("--format", choices=["jsonl", "csv"], default="jsonl")
+    obs.add_argument("--out", default=None,
+                     help="write the metrics dump here (default: stdout)")
+    obs.add_argument("--trace-out", default=None,
+                     help="also write the trace-event stream to this path")
     return parser
 
 
@@ -184,12 +201,57 @@ def cmd_domino(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Instrumented run covering every layer: engine dispatch, per-channel
+    traffic, logging decisions, and (unless --no-failure) a full recovery
+    round — then dump the metrics snapshot and optional trace stream."""
+    from .obs import MetricsRegistry, dump_events, dump_metrics
+
+    nprocs = args.ranks
+    clusters = block_clusters(nprocs, args.clusters)
+    config = ProtocolConfig(checkpoint_interval=3e-5, cluster_of=clusters,
+                            cluster_stagger=5e-6, rank_stagger=1e-6)
+    factory = lambda r, s: Stencil2D(r, s, niters=40, block=3)
+
+    registry = MetricsRegistry()
+    world, controller = build_ft_world(nprocs, factory, config, obs=registry)
+    if not args.no_failure:
+        # a failure-free probe run fixes the horizon for the injection
+        ref, _ = _run(nprocs, factory, config)
+        fail_rank = args.fail_rank if args.fail_rank is not None else nprocs - 1
+        controller.inject_failure(ref.engine.now / 2, fail_rank)
+        controller.arm()
+    world.launch()
+    world.run()
+
+    metrics_text = dump_metrics(registry, args.format)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(metrics_text)
+        print(f"metrics ({args.format}) -> {args.out}")
+    else:
+        sys.stdout.write(metrics_text)
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            fh.write(dump_events(registry, args.format))
+        print(f"trace events ({args.format}) -> {args.trace_out}")
+    summary = (
+        f"# events={world.engine.events_dispatched} "
+        f"messages={world.network.messages_sent} "
+        f"logged={controller.logging_stats()['messages_logged']:.0f} "
+        f"recovery_rounds={len(controller.recovery_reports)}"
+    )
+    print(summary, file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "table1": cmd_table1,
     "fig6": cmd_fig6,
     "pattern": cmd_pattern,
     "domino": cmd_domino,
+    "obs": cmd_obs,
 }
 
 

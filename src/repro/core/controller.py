@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import ProtocolError, SimulationError
+from ..obs.registry import NULL_OBS
 from ..simmpi.failure import FailureInjector
 from ..simmpi.message import Envelope
 from ..simmpi.runtime import World
@@ -99,11 +100,13 @@ class ProtocolConfig:
 class FTController:
     """Per-world fault-tolerance services shared by all rank protocols."""
 
-    def __init__(self, nprocs: int, config: ProtocolConfig | None = None):
+    def __init__(self, nprocs: int, config: ProtocolConfig | None = None,
+                 obs: Any = None):
         self.nprocs = nprocs
         self.config = config or ProtocolConfig()
         if self.config.cluster_of is not None and len(self.config.cluster_of) != nprocs:
             raise ProtocolError("cluster_of must map every rank")
+        self.obs = obs if obs is not None else NULL_OBS
         self.store = CheckpointStore(nprocs)
         self.protocols: list[SDProtocol] = [SDProtocol(r, self) for r in range(nprocs)]
         self.recovery = RecoveryProcess(self)
@@ -180,6 +183,9 @@ class FTController:
         assert self.world is not None
         proto = self.protocols[rank]
         world = self.world
+        if self.obs.enabled:
+            self.obs.counter("checkpoint.stored", ("rank",)).inc(labels=(rank,))
+            self.obs.event("checkpoint", rank=rank, epoch=proto.state.epoch)
         if self.config.lightweight:
             # epoch bookkeeping already advanced (begin_epoch); analysis
             # runs never restore, so skip the expensive state capture
@@ -261,6 +267,9 @@ class FTController:
         world = self.world
         self._round_in_progress = True
         self.round += 1
+        if self.obs.enabled:
+            self.obs.counter("recovery.failures").inc(len(ranks))
+            self.obs.event("failure", ranks=sorted(ranks), round=self.round)
         self._was_done = {r: world.procs[r].done for r in range(self.nprocs)}
         for r in ranks:
             if world.procs[r].done:
@@ -325,6 +334,8 @@ class FTController:
             # and let the orphan countdown resume.
             self._stall_flushed_round = round_no
             self.stall_flushes += 1
+            if self.obs.enabled:
+                self.obs.counter("recovery.stall_flushes").inc()
             for proto in self.protocols:
                 proto.flush_replays()
             self._arm_stall_watchdog()
@@ -352,6 +363,8 @@ class FTController:
         target._reported_phase = None
         target.set_running()
         self.stall_releases += 1
+        if self.obs.enabled:
+            self.obs.counter("recovery.stall_releases").inc()
         self._arm_stall_watchdog()
 
     def _restart_failed(self, rank: int) -> None:
@@ -396,6 +409,10 @@ class FTController:
         proc.pause()
         proc.start(program.run(world.apis[rank]))
         world.tracer.on_mark("restore", rank, world.engine.now, (ckpt.epoch,))
+        if self.obs.enabled:
+            self.obs.counter("recovery.restores", ("rank",)).inc(labels=(rank,))
+            self.obs.event("restore", rank=rank, epoch=ckpt.epoch,
+                           was_killed=was_killed)
 
     def on_recovery_complete(self, report: RecoveryReport) -> None:
         """The recovery process notified every phase.  Notifications may
@@ -489,15 +506,20 @@ def build_ft_world(
     nprocs: int,
     program_factory: Callable[[int, int], Any],
     config: ProtocolConfig | None = None,
+    obs: Any = None,
     **world_kwargs: Any,
 ) -> tuple[World, FTController]:
     """Convenience constructor: world + controller, fully wired and with
     every rank's initial checkpoint taken.  Call ``world.launch()`` (and
     ``controller.arm()`` if failures were injected) before ``world.run()``.
+
+    ``obs`` (a :class:`repro.obs.MetricsRegistry`) instruments the whole
+    stack — engine, network, protocol and recovery share one registry.
     """
-    controller = FTController(nprocs, config)
+    controller = FTController(nprocs, config, obs=obs)
     world = World(
-        nprocs, program_factory, hook_factory=controller.hook_for, **world_kwargs
+        nprocs, program_factory, hook_factory=controller.hook_for, obs=obs,
+        **world_kwargs
     )
     controller.bind(world)
     return world, controller

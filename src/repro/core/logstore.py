@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import ProtocolError
+from ..obs.registry import SIZE_BUCKETS
 
 __all__ = ["ChannelMessage", "SenderChannel", "ReceiverChannel", "AckStats"]
 
@@ -79,9 +80,10 @@ class SenderChannel:
     """Sender endpoint of one FIFO channel under the Fig. 5 optimization."""
 
     def __init__(self, eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
-                 max_unacked: int = DEFAULT_MAX_UNACKED):
+                 max_unacked: int = DEFAULT_MAX_UNACKED, obs: Any = None):
         self.eager_threshold = eager_threshold
         self.max_unacked = max_unacked
+        self.obs = obs if (obs is not None and obs.enabled) else None
         self.epoch = 1
         self._ssn = 0
         #: default copies awaiting confirmation, in ssn order
@@ -99,6 +101,20 @@ class SenderChannel:
         self.stats = AckStats()
 
     # ------------------------------------------------------------------
+    def _log_entry(self, ssn: int, epoch_send: int, epoch_recv: int,
+                   payload: Any, size: int) -> None:
+        self.log.append((ssn, epoch_send, epoch_recv, payload, size))
+        if self.obs is not None:
+            labels = (epoch_send,)
+            self.obs.counter("logstore.messages_logged", ("epoch",)).inc(labels=labels)
+            self.obs.counter("logstore.log_bytes", ("epoch",)).inc(size, labels=labels)
+            self.obs.histogram("logstore.logged_size", SIZE_BUCKETS).observe(size)
+
+    def _confirm_entry(self, ssn: int, epoch_send: int, epoch_recv: int) -> None:
+        self.confirmed.append((ssn, epoch_send, epoch_recv))
+        if self.obs is not None:
+            self.obs.counter("logstore.messages_confirmed").inc()
+
     def advance_epoch(self) -> None:
         """A checkpoint was taken: already-logged marking stops applying."""
         self.epoch += 1
@@ -120,8 +136,8 @@ class SenderChannel:
         if already_logged:
             # the copy goes straight to the log; the reception epoch is the
             # one the first explicit log-ack of this epoch reported
-            self.log.append((self._ssn, self.epoch, self._log_epoch_recv,
-                             _copy.deepcopy(payload), size))
+            self._log_entry(self._ssn, self.epoch, self._log_epoch_recv,
+                            _copy.deepcopy(payload), size)
             self.stats.copies_made += 1
             msg = ChannelMessage(self._ssn, size, self.epoch, payload,
                                  already_logged=True)
@@ -141,6 +157,8 @@ class SenderChannel:
 
     def make_ack_request(self) -> None:
         self.stats.ack_requests += 1
+        if self.obs is not None:
+            self.obs.counter("logstore.ack_requests").inc()
 
     # ------------------------------------------------------------------
     def on_explicit_ack(self, ssn: int, epoch_recv: int) -> None:
@@ -152,10 +170,12 @@ class SenderChannel:
         until the sender's epoch changes (Fig. 5, m4/m5).
         """
         self.stats.explicit_acks += 1
+        if self.obs is not None:
+            self.obs.counter("logstore.explicit_acks").inc()
         entry = self._pop(ssn)
         if entry.epoch_send < epoch_recv:
-            self.log.append((entry.ssn, entry.epoch_send, epoch_recv,
-                             entry.payload, entry.size))
+            self._log_entry(entry.ssn, entry.epoch_send, epoch_recv,
+                            entry.payload, entry.size)
             # earlier same-epoch retained messages were necessarily also
             # received in epoch_recv or earlier... their state is resolved
             # by piggybacks; the MODE only affects subsequent sends:
@@ -163,22 +183,24 @@ class SenderChannel:
                 self._logged_mode_epoch = self.epoch
                 self._log_epoch_recv = epoch_recv
         else:
-            self.confirmed.append((entry.ssn, entry.epoch_send, epoch_recv))
+            self._confirm_entry(entry.ssn, entry.epoch_send, epoch_recv)
 
     def on_piggyback(self, last_ssn: int, receiver_epoch: int) -> None:
         """The peer piggybacked "received up to ``last_ssn``, my epoch is
         ``receiver_epoch``": resolve every retained copy up to that ssn."""
         self.stats.piggybacks_applied += 1
+        if self.obs is not None:
+            self.obs.counter("logstore.piggybacks_applied").inc()
         resolved = [r for r in self.retained if r.ssn <= last_ssn]
         self.retained = [r for r in self.retained if r.ssn > last_ssn]
         for r in resolved:
             if r.epoch_send < receiver_epoch:
                 # conservative: the receiver may have crossed an epoch
                 # after receiving; logging extra is always safe
-                self.log.append((r.ssn, r.epoch_send, receiver_epoch,
-                                 r.payload, r.size))
+                self._log_entry(r.ssn, r.epoch_send, receiver_epoch,
+                                r.payload, r.size)
             else:
-                self.confirmed.append((r.ssn, r.epoch_send, receiver_epoch))
+                self._confirm_entry(r.ssn, r.epoch_send, receiver_epoch)
                 self.stats.copies_dropped += 1
 
     def _pop(self, ssn: int) -> _Retained:
@@ -193,8 +215,9 @@ class ReceiverChannel:
     """Receiver endpoint: decides when an explicit ack is required and
     what to piggyback on the application's reverse traffic."""
 
-    def __init__(self, eager_threshold: int = DEFAULT_EAGER_THRESHOLD):
+    def __init__(self, eager_threshold: int = DEFAULT_EAGER_THRESHOLD, obs: Any = None):
         self.eager_threshold = eager_threshold
+        self.obs = obs if (obs is not None and obs.enabled) else None
         self.epoch = 1
         self.last_ssn = 0
         #: sender epochs for which the first logged message was acked
@@ -219,9 +242,17 @@ class ReceiverChannel:
             # first message of this sender-epoch that must be logged
             self._log_acked_epochs.add(msg.epoch_send)
             self.stats.explicit_acks += 1
+            if self.obs is not None:
+                self.obs.counter("logstore.recv_explicit_acks", ("reason",)).inc(
+                    labels=("first_logged",)
+                )
             return (msg.ssn, self.epoch)
         if msg.size > self.eager_threshold:
             self.stats.explicit_acks += 1
+            if self.obs is not None:
+                self.obs.counter("logstore.recv_explicit_acks", ("reason",)).inc(
+                    labels=("rendezvous",)
+                )
             return (msg.ssn, self.epoch)
         return None
 

@@ -104,6 +104,8 @@ class SDProtocol(ProtocolHook):
         self.messages_suppressed = 0
         self.messages_replayed = 0
         self.acks_sent = 0
+        obs = controller.obs
+        self.obs = obs if obs.enabled else None
 
     # ------------------------------------------------------------------
     # Control-plane plumbing
@@ -155,6 +157,8 @@ class SDProtocol(ProtocolHook):
             # holds the effects of.  Check whether it is the last expected
             # orphan of one of our phases (lines 29-32).
             self.messages_suppressed += 1
+            if self.obs is not None:
+                self.obs.counter("protocol.messages_suppressed").inc()
             self._orphan_countdown(env.src, date)
             self._send_ack(env, duplicate=True)
             return False
@@ -173,6 +177,8 @@ class SDProtocol(ProtocolHook):
 
     def _send_ack(self, env: Envelope, duplicate: bool) -> None:
         self.acks_sent += 1
+        if self.obs is not None:
+            self.obs.counter("protocol.acks_sent", ("dup",)).inc(labels=(duplicate,))
         self._ctl(
             env.src,
             CTL.ACK,
@@ -255,8 +261,16 @@ class SDProtocol(ProtocolHook):
             )
             self.messages_logged += 1
             self.bytes_logged += entry.size
+            if self.obs is not None:
+                labels = (entry.epoch_send,)
+                self.obs.counter("protocol.messages_logged", ("epoch",)).inc(labels=labels)
+                self.obs.counter("protocol.log_bytes", ("epoch",)).inc(
+                    entry.size, labels=labels
+                )
         else:
             st.record_spe(entry.dst, entry.epoch_send, epoch_recv)
+            if self.obs is not None:
+                self.obs.counter("protocol.messages_confirmed").inc()
 
     # ------------------------------------------------------------------
     # Checkpointing (Fig. 3 lines 41-45)
@@ -487,6 +501,8 @@ class SDProtocol(ProtocolHook):
                            date=date, epoch_send=epoch_send, phase_send=phase_send)
             )
         self.messages_replayed += 1
+        if self.obs is not None:
+            self.obs.counter("protocol.messages_replayed").inc()
         self.world.transmit_app(env)
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, TYPE_CHECKING
 
 from ..errors import ProtocolError
+from ..obs.registry import NULL_OBS
 from ..simmpi.message import Envelope
 from .protocol import CTL
 
@@ -126,6 +127,7 @@ class RecoveryProcess:
 
     def __init__(self, controller: "FTController"):
         self.controller = controller
+        self.obs = getattr(controller, "obs", NULL_OBS)
         self.nprocs = controller.nprocs
         self.active = False
         self.round = 0
@@ -157,6 +159,9 @@ class RecoveryProcess:
         self._expected_failed = set(failed)
         self.report = RecoveryReport(round_no=round_no, failed=sorted(failed),
                                      started_at=now)
+        obs = self.obs
+        if obs.enabled:
+            obs.event("recovery.round_begin", round=round_no, failed=sorted(failed))
 
     # ------------------------------------------------------------------
     # Inbound control messages
@@ -260,7 +265,23 @@ class RecoveryProcess:
 
     def _finish_round(self) -> None:
         assert self.report is not None
-        self.report.finished_at = self.controller.now
-        self.reports.append(self.report)
+        report = self.report
+        report.finished_at = self.controller.now
+        self.reports.append(report)
         self.active = False
-        self.controller.on_recovery_complete(self.report)
+        obs = self.obs
+        if obs.enabled:
+            obs.counter("recovery.rounds").inc()
+            obs.counter("recovery.rollbacks").inc(len(report.rolled_back))
+            obs.counter("recovery.phases_notified").inc(report.phases_notified)
+            obs.histogram("recovery.round_duration_s").observe(
+                report.finished_at - report.started_at
+            )
+            obs.event(
+                "recovery.round_end",
+                round=report.round_no,
+                rolled_back=list(report.rolled_back),
+                phases_notified=report.phases_notified,
+                duration=report.finished_at - report.started_at,
+            )
+        self.controller.on_recovery_complete(report)

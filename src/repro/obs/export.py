@@ -1,0 +1,126 @@
+"""JSON-lines and CSV exporters for a metrics registry.
+
+Both formats share one flat row schema so downstream tooling (pandas,
+jq, a spreadsheet) can consume either:
+
+* metric rows — one per ``(instrument, label set)``:
+  ``{"metric", "type", "labels", "value", ...}`` where histograms add
+  ``sum/count/min/max/mean/bounds/bucket_counts`` and gauges add
+  ``high_water``;
+* trace rows — one per trace record: ``{"time", "kind", **fields}``.
+
+CSV cells that hold lists or mappings (histogram bounds, label sets,
+event fields) are JSON-encoded in place, keeping the file loadable with
+any CSV reader.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, TYPE_CHECKING
+
+from .registry import Counter, Gauge, Histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import MetricsRegistry
+
+__all__ = [
+    "metric_rows",
+    "event_rows",
+    "to_jsonl",
+    "to_csv",
+    "dump_metrics",
+    "dump_events",
+]
+
+
+def _labels_dict(names: tuple[str, ...], values: tuple) -> dict[str, Any]:
+    if not values:
+        return {}
+    if not names:  # unnamed label tuple: positional keys
+        names = tuple(f"label{i}" for i in range(len(values)))
+    return dict(zip(names, values))
+
+
+def metric_rows(registry: "MetricsRegistry") -> list[dict[str, Any]]:
+    """Flatten every instrument into export rows (sorted by metric name)."""
+    rows: list[dict[str, Any]] = []
+    for inst in registry.instruments():
+        if isinstance(inst, Counter):
+            for labels in sorted(inst.values, key=repr):
+                rows.append({
+                    "metric": inst.name,
+                    "type": "counter",
+                    "labels": _labels_dict(inst.label_names, labels),
+                    "value": inst.values[labels],
+                })
+            if not inst.values:
+                rows.append({"metric": inst.name, "type": "counter",
+                             "labels": {}, "value": 0.0})
+        elif isinstance(inst, Gauge):
+            rows.append({
+                "metric": inst.name,
+                "type": "gauge",
+                "labels": {},
+                "value": inst.value,
+                "high_water": inst.high_water,
+            })
+        elif isinstance(inst, Histogram):
+            rows.append({
+                "metric": inst.name,
+                "type": "histogram",
+                "labels": {},
+                "value": inst.mean,
+                "sum": inst.sum,
+                "count": inst.count,
+                "min": inst.min if inst.count else None,
+                "max": inst.max if inst.count else None,
+                "bounds": list(inst.bounds),
+                "bucket_counts": list(inst.counts),
+            })
+    return rows
+
+
+def event_rows(registry: "MetricsRegistry") -> list[dict[str, Any]]:
+    """Flatten the trace-event stream into export rows (time order)."""
+    return [{"time": r.time, "kind": r.kind, **r.fields} for r in registry.events]
+
+
+def to_jsonl(rows: list[dict[str, Any]]) -> str:
+    """One compact JSON object per line."""
+    return "".join(json.dumps(row, sort_keys=True, default=str) + "\n" for row in rows)
+
+
+def to_csv(rows: list[dict[str, Any]]) -> str:
+    """CSV with the union of all row keys as header (stable order)."""
+    if not rows:
+        return ""
+    header: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=header, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({
+            k: json.dumps(v, sort_keys=True, default=str)
+            if isinstance(v, (dict, list, tuple)) else v
+            for k, v in row.items()
+        })
+    return buf.getvalue()
+
+
+def dump_metrics(registry: "MetricsRegistry", fmt: str = "jsonl") -> str:
+    """Render the full metrics snapshot in ``fmt`` ("jsonl" or "csv")."""
+    rows = metric_rows(registry)
+    return to_csv(rows) if fmt == "csv" else to_jsonl(rows)
+
+
+def dump_events(registry: "MetricsRegistry", fmt: str = "jsonl") -> str:
+    """Render the trace-event stream in ``fmt`` ("jsonl" or "csv")."""
+    rows = event_rows(registry)
+    return to_csv(rows) if fmt == "csv" else to_jsonl(rows)

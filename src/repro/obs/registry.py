@@ -1,0 +1,296 @@
+"""Metrics registry: counters, gauges, histograms and virtual-clock spans.
+
+The observability subsystem gives every layer of the stack a shared place
+to record *attributable* measurements — events dispatched per callback
+class, bytes per channel, messages logged per epoch, recovery-round
+durations — without coupling the layers to any output format.  Exporters
+(:mod:`repro.obs.export`) turn a registry into JSON-lines or CSV.
+
+Two registry implementations share one interface:
+
+* :class:`MetricsRegistry` — the real thing.  All timestamps come from the
+  *virtual* clock (bound via :meth:`MetricsRegistry.bind_clock`), never
+  from wall time, so an instrumented run stays bit-reproducible.
+* :class:`NullRegistry` — the default.  Every instrument it hands out is a
+  shared no-op, and its ``enabled`` flag is ``False`` so hot-path code can
+  skip instrumentation entirely (the engine and network cache ``None``
+  instead of a disabled registry; the per-event cost of "disabled" is a
+  single identity comparison).
+
+Instruments are created lazily and idempotently by name; asking twice for
+the same name returns the same object, asking for the same name with a
+different type or label set raises.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..errors import SimulationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "TraceRecord",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_OBS",
+    "DURATION_BUCKETS",
+    "DEPTH_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+#: histogram boundaries for virtual durations, in seconds (1 us .. 10 s)
+DURATION_BUCKETS: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 1) for m in (1.0, 2.5, 5.0)
+)
+#: histogram boundaries for queue/in-flight depths (powers of two)
+DEPTH_BUCKETS: tuple[float, ...] = tuple(float(1 << k) for k in range(0, 17))
+#: histogram boundaries for message sizes in bytes (powers of four)
+SIZE_BUCKETS: tuple[float, ...] = tuple(float(1 << k) for k in range(0, 25, 2))
+
+
+class Counter:
+    """Monotonically increasing value, optionally split by a label tuple."""
+
+    __slots__ = ("name", "label_names", "values")
+
+    def __init__(self, name: str, label_names: tuple[str, ...] = ()):
+        self.name = name
+        self.label_names = label_names
+        self.values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, labels: tuple = ()) -> None:
+        self.values[labels] = self.values.get(labels, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.values.values())
+
+    def get(self, labels: tuple = ()) -> float:
+        return self.values.get(labels, 0.0)
+
+
+class Gauge:
+    """Instantaneous value with a high-water mark (e.g. in-flight depth)."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count/min/max.
+
+    ``bounds`` are the *upper* edges of the first ``len(bounds)`` buckets;
+    one implicit overflow bucket catches everything above the last edge.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DURATION_BUCKETS):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise SimulationError(f"histogram {name}: bounds must be strictly increasing")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bucket whose upper edge >= value
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event (virtual-time-stamped)."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class Span:
+    """Context manager timing a region against the virtual clock.
+
+    The duration lands in the histogram ``<name>.duration_s`` and, when the
+    registry keeps a trace stream, a ``span`` trace record is emitted with
+    the start time, duration and any extra fields.
+    """
+
+    __slots__ = ("_registry", "name", "fields", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, fields: dict[str, Any]):
+        self._registry = registry
+        self.name = name
+        self.fields = fields
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = self._registry.now()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        end = self._registry.now()
+        duration = end - self._t0
+        self._registry.histogram(f"{self.name}.duration_s").observe(duration)
+        self._registry.event(
+            "span", name=self.name, start=self._t0, duration=duration, **self.fields
+        )
+
+
+class MetricsRegistry:
+    """Names → instruments, plus the bounded trace-event stream."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 trace_capacity: int = 100_000):
+        self._clock = clock
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self.events: deque[TraceRecord] = deque(maxlen=trace_capacity)
+        self.events_dropped = 0
+        self._trace_capacity = trace_capacity
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the virtual-clock source (typically ``lambda: engine.now``)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Instrument factories (idempotent by name)
+    # ------------------------------------------------------------------
+    def _get(self, name: str, cls: type, factory: Callable[[], Any]) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+        elif type(inst) is not cls:
+            raise SimulationError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, label_names: tuple[str, ...] = ()) -> Counter:
+        c = self._get(name, Counter, lambda: Counter(name, label_names))
+        if c.label_names != label_names:
+            raise SimulationError(
+                f"counter {name!r} label mismatch: {c.label_names} vs {label_names}"
+            )
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DURATION_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def span(self, name: str, **fields: Any) -> Span:
+        return Span(self, name, fields)
+
+    # ------------------------------------------------------------------
+    # Trace stream
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        if len(self.events) == self._trace_capacity:
+            self.events_dropped += 1
+        self.events.append(TraceRecord(self.now(), kind, fields))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def instruments(self) -> Iterator[Counter | Gauge | Histogram]:
+        for name in sorted(self._instruments):
+            yield self._instruments[name]
+
+    def get_counter_total(self, name: str) -> float:
+        inst = self._instruments.get(name)
+        return inst.total if isinstance(inst, Counter) else 0.0
+
+
+class _NullInstrument:
+    """Absorbs every instrument method as a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, *a: Any, **k: Any) -> None: ...
+    def dec(self, *a: Any, **k: Any) -> None: ...
+    def set(self, *a: Any, **k: Any) -> None: ...
+    def observe(self, *a: Any, **k: Any) -> None: ...
+    def __enter__(self) -> "_NullInstrument":
+        return self
+    def __exit__(self, *exc: Any) -> None: ...
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled registry: same interface, every operation a no-op."""
+
+    enabled = False
+    events: deque = deque()
+    events_dropped = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None: ...
+    def now(self) -> float:
+        return 0.0
+    def counter(self, name: str, label_names: tuple[str, ...] = ()) -> Any:
+        return _NULL_INSTRUMENT
+    def gauge(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+    def histogram(self, name: str, bounds: tuple[float, ...] = ()) -> Any:
+        return _NULL_INSTRUMENT
+    def span(self, name: str, **fields: Any) -> Any:
+        return _NULL_INSTRUMENT
+    def event(self, kind: str, **fields: Any) -> None: ...
+    def instruments(self) -> Iterator[Any]:
+        return iter(())
+    def get_counter_total(self, name: str) -> float:
+        return 0.0
+
+
+#: process-wide disabled registry, shared by every uninstrumented component
+NULL_OBS = NullRegistry()

@@ -8,6 +8,11 @@ executions message by message.
 
 The engine knows nothing about MPI, processes or fault tolerance; it only
 dispatches callbacks at virtual times.
+
+Observability: pass a :class:`repro.obs.MetricsRegistry` to count events
+dispatched per callback class and sample queue depth.  With the default
+null registry the engine caches ``None`` and the dispatch loop pays a
+single identity comparison per event.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import SimulationError
+from ..obs.registry import DEPTH_BUCKETS
 
 __all__ = ["Engine", "EventHandle"]
 
@@ -27,15 +33,17 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    dispatched: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, engine: "Engine"):
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -46,8 +54,13 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it; cancelling twice is a no-op."""
-        self._event.cancelled = True
+        """Mark the event so the engine skips it; cancelling twice (or after
+        the event already ran) is a no-op."""
+        event = self._event
+        if event.cancelled or event.dispatched:
+            return
+        event.cancelled = True
+        self._engine._pending -= 1
 
 
 class Engine:
@@ -57,14 +70,21 @@ class Engine:
     ----------
     start_time:
         Initial value of the virtual clock, in seconds.
+    obs:
+        Optional metrics registry; ``None`` (or a disabled registry)
+        leaves the dispatch loop uninstrumented.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, obs: Any = None):
         self.now: float = float(start_time)
         self._queue: list[_Event] = []
         self._seq = 0
+        self._pending = 0
         self._events_dispatched = 0
         self._running = False
+        self.obs = obs if (obs is not None and obs.enabled) else None
+        if self.obs is not None:
+            self.obs.bind_clock(lambda: self.now)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -77,26 +97,38 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = _Event(self.now + delay, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return self._push(self.now + delay, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at absolute virtual time ``time``."""
-        return self.schedule(max(0.0, time - self.now), callback)
+        """Schedule ``callback`` at absolute virtual time ``time``.
+
+        Times in the past are clamped to the current instant.  The event is
+        stored at exactly ``time`` (no ``now + (time - now)`` float round
+        trip), so callers relying on strict per-timestamp ordering — the
+        network's per-channel FIFO tie-break — keep their invariants even
+        at large virtual times where one ulp matters.
+        """
+        return self._push(max(self.now, float(time)), callback)
 
     def call_soon(self, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at the current instant (after queued peers)."""
         return self.schedule(0.0, callback)
+
+    def _push(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        event = _Event(time, self._seq, callback)
+        self._seq += 1
+        self._pending += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event, self)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled, non-cancelled events (O(1): maintained as a
+        live counter on schedule/cancel/dispatch rather than scanned)."""
+        return self._pending
 
     @property
     def events_dispatched(self) -> int:
@@ -111,24 +143,49 @@ class Engine:
             if event.time < self.now:
                 raise SimulationError("event queue corrupted: time went backwards")
             self.now = event.time
+            event.dispatched = True
+            self._pending -= 1
             self._events_dispatched += 1
+            if self.obs is not None:
+                self._record_dispatch(event)
             event.callback()
             return True
         return False
+
+    def _record_dispatch(self, event: _Event) -> None:
+        """Attribute the dispatch to the callback's class (cold path)."""
+        cb = event.callback
+        func = getattr(cb, "__func__", cb)
+        label = getattr(func, "__qualname__", None) or type(cb).__name__
+        obs = self.obs
+        obs.counter("engine.events_dispatched", ("callback",)).inc(labels=(label,))
+        depth = len(self._queue)
+        obs.histogram("engine.queue_depth", DEPTH_BUCKETS).observe(depth)
+        obs.gauge("engine.queue_depth.current").set(depth)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
         ``until`` is an absolute virtual time; events scheduled exactly at
-        ``until`` are executed.
+        ``until`` are executed.  When ``until`` is given, the clock lands on
+        ``until`` whether the horizon cut the queue short *or* the queue
+        drained early — ``engine.now`` never lags the requested horizon.
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         dispatched = 0
         try:
-            while self._queue:
-                if until is not None and self._peek_time() > until:
+            while True:
+                peek = self._peek_time()
+                if peek == float("inf"):
+                    # queue drained before the horizon: still advance the
+                    # clock so back-to-back run(until=...) calls see time
+                    # move monotonically to each horizon
+                    if until is not None and until > self.now:
+                        self.now = until
+                    break
+                if until is not None and peek > until:
                     self.now = until
                     break
                 if max_events is not None and dispatched >= max_events:

@@ -21,11 +21,13 @@ stay on the wire.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from ..errors import SimulationError
+from ..obs.registry import DEPTH_BUCKETS, SIZE_BUCKETS
 from .engine import Engine, EventHandle
 from .message import Envelope
 
@@ -78,7 +80,8 @@ class Network:
         Seed for the deterministic jitter stream.
     """
 
-    def __init__(self, engine: Engine, timing: TimingModel | None = None, seed: int = 0):
+    def __init__(self, engine: Engine, timing: TimingModel | None = None, seed: int = 0,
+                 obs: Any = None):
         self.engine = engine
         self.timing = timing or TimingModel()
         self._rng = random.Random(seed)
@@ -86,12 +89,15 @@ class Network:
         self._receivers: dict[int, Callable[[Envelope], None]] = {}
         # (src, dst) -> virtual time the last envelope on this channel arrives
         self._last_arrival: dict[tuple[int, int], float] = {}
-        # in-flight events per destination, for fail-stop purging
-        self._in_flight: dict[int, list[tuple[EventHandle, Envelope]]] = {}
+        # in-flight events per destination, keyed by envelope uid so a
+        # delivery removes its own entry in O(1) (a per-delivery list
+        # rebuild made draining n in-flight messages O(n^2))
+        self._in_flight: dict[int, dict[int, tuple[EventHandle, Envelope]]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        self.obs = obs if (obs is not None and obs.enabled) else None
 
     # ------------------------------------------------------------------
     def attach(self, rank: int, receiver: Callable[[Envelope], None]) -> None:
@@ -116,20 +122,43 @@ class Network:
         chan = (env.src, env.dst)
         prev = self._last_arrival.get(chan, -1.0)
         if arrival <= prev:
-            # enforce FIFO: never overtake the previous message on the channel
-            arrival = prev + 1e-12
+            # Enforce FIFO: never overtake the previous message on the
+            # channel.  A fixed epsilon (`prev + 1e-12`) is absorbed by
+            # float rounding once virtual time grows past ~1e4 s, which
+            # would silently collapse a channel's arrivals onto one
+            # instant; nextafter always yields the next representable
+            # (strictly later) time, and schedule_at stores it exactly.
+            arrival = math.nextafter(prev, math.inf)
         self._last_arrival[chan] = arrival
         handle = self.engine.schedule_at(arrival, lambda: self._deliver(env))
-        self._in_flight.setdefault(env.dst, []).append((handle, env))
+        self._in_flight.setdefault(env.dst, {})[env.uid] = (handle, env)
         self.messages_sent += 1
         self.bytes_sent += env.size
+        if self.obs is not None:
+            self._record_transmit(env)
         return cpu
+
+    def _record_transmit(self, env: Envelope) -> None:
+        obs = self.obs
+        labels = (env.src, env.dst)
+        obs.counter("network.channel.messages", ("src", "dst")).inc(labels=labels)
+        obs.counter("network.channel.bytes", ("src", "dst")).inc(env.size, labels=labels)
+        obs.histogram("network.message_size", SIZE_BUCKETS).observe(env.size)
+        gauge = obs.gauge("network.in_flight")
+        gauge.inc()
+        obs.histogram("network.in_flight_depth", DEPTH_BUCKETS).observe(gauge.value)
 
     def _deliver(self, env: Envelope) -> None:
         pending = self._in_flight.get(env.dst)
-        if pending:
-            self._in_flight[env.dst] = [(h, e) for h, e in pending if e.uid != env.uid]
+        if pending is not None:
+            pending.pop(env.uid, None)
         self.messages_delivered += 1
+        if self.obs is not None:
+            self.obs.counter("network.messages_delivered").inc()
+            self.obs.gauge("network.in_flight").dec()
+            self.obs.histogram("network.transit_time_s").observe(
+                self.engine.now - env.send_time
+            )
         self._receivers[env.dst](env)
 
     # ------------------------------------------------------------------
@@ -142,10 +171,16 @@ class Network:
         lost with the process.  Returns the number of dropped envelopes.
         """
         dropped = 0
-        for handle, _env in self._in_flight.pop(rank, []):
+        for handle, _env in self._in_flight.pop(rank, {}).values():
             handle.cancel()
             dropped += 1
         self.messages_dropped += dropped
+        if dropped and self.obs is not None:
+            self.obs.counter("network.messages_dropped", ("dst",)).inc(
+                dropped, labels=(rank,)
+            )
+            self.obs.gauge("network.in_flight").dec(dropped)
+            self.obs.event("network.purge", rank=rank, dropped=dropped)
         return dropped
 
     def purge_all(self) -> int:
@@ -158,5 +193,5 @@ class Network:
     def in_flight_count(self, rank: int | None = None) -> int:
         """Number of in-flight envelopes (to ``rank``, or total)."""
         if rank is not None:
-            return len(self._in_flight.get(rank, []))
+            return len(self._in_flight.get(rank, {}))
         return sum(len(v) for v in self._in_flight.values())

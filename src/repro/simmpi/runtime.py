@@ -14,6 +14,7 @@ import copy
 from typing import Any, Callable
 
 from ..errors import DeadlockError, SimulationError
+from ..obs.registry import NULL_OBS
 from .api import MpiApi
 from .engine import Engine
 from .message import Envelope
@@ -46,6 +47,10 @@ class World:
     record_events:
         Keep the full event log in the tracer (memory-hungry; off by
         default, counts and sequences are always kept).
+    obs:
+        Optional :class:`repro.obs.MetricsRegistry`; threaded into the
+        engine and network.  Defaults to the shared no-op registry, which
+        keeps the hot paths uninstrumented.
     """
 
     def __init__(
@@ -57,12 +62,14 @@ class World:
         copy_payloads: bool = True,
         record_events: bool = False,
         network_seed: int = 0,
+        obs: Any = None,
     ):
         if nprocs < 1:
             raise SimulationError("need at least one rank")
         self.nprocs = nprocs
-        self.engine = Engine()
-        self.network = Network(self.engine, timing, seed=network_seed)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.engine = Engine(obs=self.obs)
+        self.network = Network(self.engine, timing, seed=network_seed, obs=self.obs)
         self.tracer = Tracer(nprocs, record_events=record_events)
         self.copy_payloads = copy_payloads
         self.programs = [program_factory(rank, nprocs) for rank in range(nprocs)]

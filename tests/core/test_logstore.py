@@ -203,3 +203,69 @@ def test_logging_decisions_match_simple_protocol():
     logged = {entry[0] for entry in sender.log}
     for ssn, should_log in outcomes.items():
         assert (ssn in logged) == should_log, f"ssn {ssn}"
+
+
+def test_piggyback_after_explicit_ack_same_range():
+    """A piggyback that arrives after the explicit ack already resolved the
+    same ssn range must be harmless: no crash, no duplicate log entries."""
+    sender, receiver = make_pair()
+    receiver.advance_epoch()
+    m1, _ = sender.send(64)
+    ack = receiver.deliver(m1)
+    assert ack is not None
+    sender.on_explicit_ack(*ack)          # logs m1, opens logged mode
+    assert [entry[0] for entry in sender.log] == [m1.ssn]
+
+    # a delayed piggyback covering the same ssn finds nothing retained
+    sender.on_piggyback(*receiver.piggyback())
+    assert [entry[0] for entry in sender.log] == [m1.ssn]
+    assert sender.confirmed == []
+
+    # subsequent traffic in logged mode stays single-logged too
+    m2, _ = sender.send(64)
+    assert m2.already_logged
+    assert receiver.deliver(m2) is None
+    sender.on_piggyback(*receiver.piggyback())
+    assert [entry[0] for entry in sender.log] == [m1.ssn, m2.ssn]
+    assert sender.retained == []
+
+
+def test_epoch_crossing_with_mixed_eager_and_rendezvous_sizes():
+    """Interleave small (eager) and large (rendezvous) messages across a
+    receiver checkpoint; the logged set must follow the epoch rule
+    (logged iff epoch_send < epoch_recv) regardless of size class."""
+    sender, receiver = make_pair()
+
+    # same epoch, large: rendezvous ack confirms without logging
+    big1, blocking = sender.send(1 << 20)
+    assert blocking
+    ack = receiver.deliver(big1)
+    assert ack is not None
+    sender.on_explicit_ack(*ack)
+    assert sender.log == []
+    assert sender.confirmed[0][0] == big1.ssn
+
+    receiver.advance_epoch()
+
+    # small message crosses the epoch: first-logged explicit ack
+    m2, b2 = sender.send(64)
+    assert not b2
+    ack = receiver.deliver(m2)
+    assert ack is not None
+    assert receiver.stats.explicit_acks == 2
+    sender.on_explicit_ack(*ack)
+    assert [entry[0] for entry in sender.log] == [m2.ssn]
+
+    # large message in logged mode: straight to the log, no rendezvous wait
+    big3, b3 = sender.send(1 << 20)
+    assert big3.already_logged and not b3
+    assert receiver.deliver(big3) is None
+    assert receiver.stats.explicit_acks == 2  # no further acks needed
+
+    # every logging decision matches the epoch-crossing rule
+    logged = {entry[0] for entry in sender.log}
+    assert logged == {m2.ssn, big3.ssn}
+    for ssn, epoch_send, epoch_recv, _payload, _size in sender.log:
+        assert epoch_send < epoch_recv
+    for ssn, epoch_send, epoch_recv in sender.confirmed:
+        assert epoch_send >= epoch_recv

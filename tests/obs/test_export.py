@@ -1,0 +1,84 @@
+"""Exporter tests: flat row schema, JSON-lines and CSV round-trips."""
+
+import csv
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    dump_events,
+    dump_metrics,
+    event_rows,
+    metric_rows,
+    to_csv,
+    to_jsonl,
+)
+
+
+def populated_registry():
+    reg = MetricsRegistry(clock=lambda: 1.5)
+    reg.counter("c.plain").inc(2)
+    reg.counter("c.labelled", ("src", "dst")).inc(labels=(0, 1))
+    reg.gauge("g").set(7)
+    reg.histogram("h", (1.0, 2.0)).observe(1.5)
+    reg.event("checkpoint", rank=0, epoch=3)
+    return reg
+
+
+def test_metric_rows_schema():
+    rows = metric_rows(populated_registry())
+    by_name = {}
+    for row in rows:
+        by_name.setdefault(row["metric"], []).append(row)
+    assert by_name["c.plain"][0]["value"] == 2.0
+    assert by_name["c.labelled"][0]["labels"] == {"src": 0, "dst": 1}
+    assert by_name["g"][0]["high_water"] == 7
+    hist = by_name["h"][0]
+    assert hist["count"] == 1
+    assert hist["bucket_counts"] == [0, 1, 0]
+    # rows come out sorted by metric name
+    assert [r["metric"] for r in rows] == sorted(r["metric"] for r in rows)
+
+
+def test_registered_but_unused_counter_still_exported():
+    reg = MetricsRegistry()
+    reg.counter("touched.never")
+    rows = metric_rows(reg)
+    assert rows == [{"metric": "touched.never", "type": "counter",
+                     "labels": {}, "value": 0.0}]
+
+
+def test_jsonl_round_trip():
+    text = dump_metrics(populated_registry(), "jsonl")
+    parsed = [json.loads(line) for line in text.splitlines()]
+    assert len(parsed) == 4
+    assert all("metric" in row and "type" in row for row in parsed)
+
+
+def test_csv_has_union_header_and_parses():
+    text = dump_metrics(populated_registry(), "csv")
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 4
+    hist = next(r for r in rows if r["metric"] == "h")
+    # list cells are JSON-encoded in place
+    assert json.loads(hist["bucket_counts"]) == [0, 1, 0]
+    labelled = next(r for r in rows if r["metric"] == "c.labelled")
+    assert json.loads(labelled["labels"]) == {"src": 0, "dst": 1}
+
+
+def test_event_rows_and_dump():
+    reg = populated_registry()
+    rows = event_rows(reg)
+    assert rows == [{"time": 1.5, "kind": "checkpoint", "rank": 0, "epoch": 3}]
+    parsed = json.loads(dump_events(reg, "jsonl").strip())
+    assert parsed["kind"] == "checkpoint"
+    csv_text = dump_events(reg, "csv")
+    assert "kind" in csv_text.splitlines()[0]
+
+
+def test_empty_exports():
+    reg = MetricsRegistry()
+    assert to_jsonl([]) == ""
+    assert to_csv([]) == ""
+    assert dump_metrics(reg) == ""
+    assert dump_events(reg) == ""

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms,
+spans, trace stream, null registry)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import (
+    DEPTH_BUCKETS,
+    MetricsRegistry,
+    NULL_OBS,
+    NullRegistry,
+)
+
+
+def test_counter_unlabelled():
+    reg = MetricsRegistry()
+    c = reg.counter("a")
+    c.inc()
+    c.inc(2.5)
+    assert c.total == 3.5
+    assert reg.counter("a") is c  # idempotent by name
+
+
+def test_counter_labelled():
+    reg = MetricsRegistry()
+    c = reg.counter("channel.msgs", ("src", "dst"))
+    c.inc(labels=(0, 1))
+    c.inc(labels=(0, 1))
+    c.inc(labels=(1, 0))
+    assert c.get((0, 1)) == 2
+    assert c.get((1, 0)) == 1
+    assert c.total == 3
+
+
+def test_counter_label_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x", ("a",))
+    with pytest.raises(SimulationError):
+        reg.counter("x", ("b",))
+
+
+def test_instrument_type_clash_rejected():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(SimulationError):
+        reg.gauge("m")
+
+
+def test_gauge_high_water():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.inc(5)
+    g.dec(3)
+    g.inc(1)
+    assert g.value == 3
+    assert g.high_water == 5
+
+
+def test_histogram_buckets_and_stats():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", (1.0, 10.0, 100.0))
+    for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+        h.observe(v)
+    # bucket edges are inclusive upper bounds; last bucket is overflow
+    assert h.counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(556.5)
+    assert h.min == 0.5 and h.max == 500.0
+    assert h.mean == pytest.approx(556.5 / 5)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    reg = MetricsRegistry()
+    with pytest.raises(SimulationError):
+        reg.histogram("bad", (3.0, 1.0))
+
+
+def test_depth_buckets_strictly_increasing():
+    assert list(DEPTH_BUCKETS) == sorted(set(DEPTH_BUCKETS))
+
+
+def test_span_uses_virtual_clock():
+    t = {"now": 1.0}
+    reg = MetricsRegistry(clock=lambda: t["now"])
+    with reg.span("phase", rank=3):
+        t["now"] = 4.0
+    h = reg.histogram("phase.duration_s")
+    assert h.count == 1
+    assert h.sum == pytest.approx(3.0)
+    spans = [r for r in reg.events if r.kind == "span"]
+    assert spans[0].fields["name"] == "phase"
+    assert spans[0].fields["rank"] == 3
+    assert spans[0].fields["duration"] == pytest.approx(3.0)
+
+
+def test_trace_stream_bounded():
+    reg = MetricsRegistry(trace_capacity=3)
+    for i in range(5):
+        reg.event("tick", i=i)
+    assert len(reg.events) == 3
+    assert [r.fields["i"] for r in reg.events] == [2, 3, 4]
+    assert reg.events_dropped == 2
+
+
+def test_null_registry_is_inert():
+    null = NullRegistry()
+    assert not null.enabled
+    c = null.counter("anything", ("a", "b"))
+    c.inc()
+    c.inc(5, labels=("x", "y"))
+    null.gauge("g").set(3)
+    null.histogram("h").observe(1.0)
+    null.event("kind", x=1)
+    with null.span("s"):
+        pass
+    assert list(null.instruments()) == []
+    assert null.get_counter_total("anything") == 0.0
+    assert len(null.events) == 0
+    assert NULL_OBS.enabled is False
+
+
+def test_bind_clock_stamps_events():
+    reg = MetricsRegistry()
+    reg.event("before")  # no clock yet: time 0
+    reg.bind_clock(lambda: 42.0)
+    reg.event("after")
+    times = [r.time for r in reg.events]
+    assert times == [0.0, 42.0]

@@ -157,3 +157,77 @@ def test_determinism_across_runs():
         return order
 
     assert build() == build()
+
+
+# ----------------------------------------------------------------------
+# Regressions: run(until=...) clock semantics when the queue drains early
+# ----------------------------------------------------------------------
+def test_run_until_clock_lands_on_horizon_after_drain():
+    # the queue draining below the horizon used to leave the clock at the
+    # last event's time instead of advancing it to `until`
+    eng = Engine()
+    eng.schedule(1e-6, lambda: None)
+    eng.run(until=5e-6)
+    assert eng.now == 5e-6
+
+
+def test_run_until_on_empty_queue_advances_clock():
+    eng = Engine()
+    eng.run(until=3e-6)
+    assert eng.now == 3e-6
+    eng.run(until=2e-6)  # an earlier horizon never moves the clock back
+    assert eng.now == 3e-6
+
+
+def test_periodic_sampling_across_drained_queue():
+    # back-to-back run(until=...) calls give evenly spaced sampling points
+    # even when the workload finishes well before the last horizon
+    eng = Engine()
+    eng.schedule(1e-6, lambda: None)
+    for horizon in (1e-5, 2e-5, 3e-5):
+        eng.run(until=horizon)
+        assert eng.now == horizon
+
+
+# ----------------------------------------------------------------------
+# Regressions: the live `pending` counter
+# ----------------------------------------------------------------------
+def test_cancel_after_dispatch_keeps_pending_consistent():
+    eng = Engine()
+    handle = eng.schedule(1e-6, lambda: None)
+    eng.schedule(2e-6, lambda: None)
+    eng.run(max_events=1)
+    assert eng.pending == 1
+    handle.cancel()  # already ran: must not decrement a second time
+    assert eng.pending == 1
+    eng.run()
+    assert eng.pending == 0
+
+
+def test_pending_counts_schedule_at_in_past():
+    eng = Engine()
+    fired = []
+
+    def inner():
+        eng.schedule_at(1e-6, lambda: fired.append("late"))
+        assert eng.pending == 1  # the clamped-to-now event is pending
+
+    eng.schedule(5e-6, inner)
+    eng.run()
+    assert fired == ["late"]
+    assert eng.pending == 0
+
+
+def test_pending_through_interleaved_cancel_and_dispatch():
+    eng = Engine()
+    handles = [eng.schedule(i * 1e-6, lambda: None) for i in range(1, 7)]
+    assert eng.pending == 6
+    handles[0].cancel()
+    handles[3].cancel()
+    assert eng.pending == 4
+    eng.run(max_events=2)
+    assert eng.pending == 2
+    handles[3].cancel()  # cancelling twice stays a no-op
+    assert eng.pending == 2
+    eng.run()
+    assert eng.pending == 0

@@ -128,3 +128,52 @@ def test_zero_latency_model_works():
     net.transmit(env(0, 1))
     eng.run()
     assert len(inboxes[1]) == 1
+
+
+# ----------------------------------------------------------------------
+# Regressions: uid-indexed in-flight tracking
+# ----------------------------------------------------------------------
+def test_in_flight_indexed_by_uid():
+    # in-flight envelopes are a uid-keyed dict so a delivery removes its
+    # own entry in O(1) instead of rebuilding the destination's list
+    eng, net, _ = make_net()
+    e1, e2 = env(0, 1), env(0, 1)
+    net.transmit(e1)
+    net.transmit(e2)
+    assert set(net._in_flight[1]) == {e1.uid, e2.uid}
+    eng.run(max_events=1)
+    assert set(net._in_flight[1]) == {e2.uid}
+    eng.run()
+    assert net._in_flight[1] == {}
+
+
+def test_purge_after_partial_delivery():
+    eng, net, inboxes = make_net()
+    for tag in (1, 2, 3):
+        net.transmit(env(0, 1, tag=tag))
+    eng.run(max_events=1)
+    assert [e.tag for e in inboxes[1]] == [1]
+    assert net.purge_inbound(1) == 2
+    eng.run()
+    assert [e.tag for e in inboxes[1]] == [1]
+    assert net.messages_dropped == 2
+    assert net.in_flight_count(1) == 0
+
+
+# ----------------------------------------------------------------------
+# Regression: FIFO tie-break at large virtual times
+# ----------------------------------------------------------------------
+def test_fifo_strict_at_large_virtual_time():
+    # the old `prev + 1e-12` epsilon is absorbed by float rounding once
+    # the clock is large, collapsing a channel's arrivals onto a single
+    # instant; nextafter always yields a strictly later representable time
+    eng = Engine(start_time=1e9)
+    net = Network(eng, TimingModel(latency=0.0, bandwidth=1e12,
+                                   send_overhead=0.0))
+    order, times = [], []
+    net.attach(1, lambda e: (order.append(e.tag), times.append(eng.now)))
+    for tag in range(5):
+        net.transmit(env(0, 1, size=1, tag=tag))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+    assert all(b > a for a, b in zip(times, times[1:])), times
