@@ -13,14 +13,20 @@ in a few minutes.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baseline_seed.json"
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: worker count for benchmarks that fan out via repro.sweep (0/1 = inline)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def is_paper_scale() -> bool:
@@ -39,6 +45,52 @@ def emit(name: str, text: str) -> None:
     banner = f"\n================ {name} ================\n"
     print(banner + text)
     save_result(name, text)
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Merge ``payload`` into the machine-readable ``results/<name>``.
+
+    Merging (instead of overwriting) lets several benchmarks contribute
+    sections to one artefact — e.g. the throughput and instrumentation
+    tests both land in ``BENCH_throughput.json``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data.update(payload)
+    path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def timed(fn, *, rounds: int = 3, warmup: int = 1) -> float:
+    """Best-of-``rounds`` wall-clock seconds of ``fn()``.
+
+    Best-of (not mean) because scheduler noise only ever *adds* time; the
+    minimum is the stable estimator on a busy CI host.  ``warmup`` runs
+    are discarded to absorb import and allocator effects.
+    """
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def seed_baseline() -> dict:
+    """Wall-clock numbers recorded at the seed commit (see the file).
+
+    Used to report speedup factors; absolute values are host-dependent, so
+    the artefacts always carry both the measured walls and the baseline.
+    """
+    return json.loads(BASELINE_PATH.read_text())
 
 
 @pytest.fixture(scope="session")

@@ -31,7 +31,9 @@ from repro.apps import TABLE1_KERNELS
 from repro.core import ProtocolConfig, build_ft_world
 from repro.core.clustering import block_clusters
 
-from conftest import emit, format_table, is_paper_scale
+from repro.sweep import SweepTask, run_sweep
+
+from conftest import WORKERS, emit, format_table, is_paper_scale
 
 if is_paper_scale():
     SIZES = [64, 128, 256]
@@ -78,18 +80,40 @@ def run_case(name: str, nprocs: int, nclusters: int):
     return log.percent, rb.percent
 
 
+def sweep_cell(params: dict) -> tuple:
+    """Sweep adapter around :func:`run_case` (module-level: picklable)."""
+    return run_case(params["kernel"], params["ranks"], params["clusters"])
+
+
 @pytest.fixture(scope="module")
 def table1():
-    results = {}
-    for name in TABLE1_KERNELS:
-        for nprocs in SIZES:
-            for nclusters in CLUSTERS:
-                if nclusters > nprocs:
-                    continue
-                results[(name, nprocs, nclusters)] = run_case(
-                    name, nprocs, nclusters
-                )
-    return results
+    """All Table I cells, computed through the sweep executor.
+
+    ``REPRO_BENCH_WORKERS=N`` fans the grid across N processes (each cell
+    is an independent deterministic simulation); the default of 1 runs the
+    exact sequential loop this fixture always was.
+    """
+    keys = [
+        (name, nprocs, nclusters)
+        for name in TABLE1_KERNELS
+        for nprocs in SIZES
+        for nclusters in CLUSTERS
+        if nclusters <= nprocs
+    ]
+    tasks = [
+        SweepTask(name=f"{k[0]}/{k[1]}r/{k[2]}cl",
+                  params={"kernel": k[0], "ranks": k[1], "clusters": k[2]})
+        for k in keys
+    ]
+    results = run_sweep(sweep_cell, tasks, workers=WORKERS)
+    out = {}
+    for key, res in zip(keys, results):
+        if not res.ok:
+            raise RuntimeError(
+                f"table1 cell {res.name} failed: {res.error}\n{res.traceback}"
+            )
+        out[key] = tuple(res.value)
+    return out
 
 
 def test_table1(table1, benchmark):

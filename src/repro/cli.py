@@ -3,7 +3,10 @@
 Thin front-end over the library for the common workflows:
 
 * ``demo`` — run a clustered workload, inject a failure, report recovery;
-* ``table1`` — regenerate Table I for chosen kernels/sizes/clusters;
+* ``table1`` — regenerate Table I for chosen kernels/sizes/clusters
+  (``--workers N`` fans the cells across processes, same output);
+* ``sweep`` — fan independent scenario runs (randomized failures or the
+  Table I grid) across worker processes, with JSON results (``--out``);
 * ``fig6`` — print the ping-pong latency/bandwidth table;
 * ``pattern`` — print a kernel's communication matrix with clustering;
 * ``domino`` — quantify the domino effect vs the protocol;
@@ -58,6 +61,24 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--ranks", nargs="+", type=int, default=[16])
     t1.add_argument("--clusters", nargs="+", type=int, default=[4])
     t1.add_argument("--niters", type=int, default=8)
+    t1.add_argument("--workers", type=int, default=1,
+                    help="fan cells across N worker processes (1 = inline, "
+                         "output identical either way)")
+
+    sw = sub.add_parser(
+        "sweep", help="fan independent scenario runs across worker processes"
+    )
+    sw.add_argument("--scenario", choices=["failures", "table1"],
+                    default="failures")
+    sw.add_argument("--ranks", type=int, default=8)
+    sw.add_argument("--clusters", type=int, default=2)
+    sw.add_argument("--niters", type=int, default=40)
+    sw.add_argument("--runs", type=int, default=8,
+                    help="number of runs (failures scenario)")
+    sw.add_argument("--workers", type=int, default=1)
+    sw.add_argument("--base-seed", type=int, default=0)
+    sw.add_argument("--out", default=None,
+                    help="write structured JSON results here")
 
     sub.add_parser("fig6", help="ping-pong latency/bandwidth table")
 
@@ -123,42 +144,163 @@ def _run(nprocs, factory, config):
     return world, controller
 
 
+def table1_cell(params: dict) -> dict:
+    """Compute one Table I cell; module-level so sweeps can pickle it.
+
+    The simulation is fully deterministic — the sweep-injected ``seed``
+    entry is deliberately unused, so a cell's numbers never depend on
+    worker count or scheduling.
+    """
+    name, nprocs, ncl = params["kernel"], params["ranks"], params["clusters"]
+    niters = params["niters"]
+    cls = TABLE1_KERNELS[name]
+    factory = lambda r, s: cls(r, s, niters=niters, compute_time=1e-5)
+    config = ProtocolConfig(
+        checkpoint_interval=6e-5,
+        cluster_of=block_clusters(nprocs, ncl),
+        cluster_stagger=8e-6, rank_stagger=2e-7,
+        lightweight=True, retain_payloads=False,
+    )
+    world, controller = build_ft_world(nprocs, factory, config,
+                                       copy_payloads=False)
+    sampler = SpeSampler(controller, interval=7e-5)
+    sampler.arm()
+    world.launch()
+    world.run()
+    if not sampler.snapshots:
+        sampler.take()
+    log = controller.logging_stats()
+    rb = rollback_analysis(sampler.snapshots, nprocs)
+    return {
+        "kernel": name, "ranks": nprocs, "clusters": ncl,
+        "pct_log": 100 * log["log_fraction"], "pct_rollback": rb.percent,
+    }
+
+
+def table1_tasks(kernels, ranks, clusters, niters):
+    """Task list for the Table I grid, in the table's row order."""
+    from .sweep import SweepTask
+
+    return [
+        SweepTask(
+            name=f"{name}/{nprocs}r/{ncl}cl",
+            params={"kernel": name, "ranks": nprocs, "clusters": ncl,
+                    "niters": niters},
+        )
+        for name in kernels
+        for nprocs in ranks
+        for ncl in clusters
+        if ncl <= nprocs
+    ]
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
-    cells = []
-    for name in args.kernels:
-        cls = TABLE1_KERNELS[name]
-        for nprocs in args.ranks:
-            for ncl in args.clusters:
-                if ncl > nprocs:
-                    continue
-                factory = lambda r, s: cls(r, s, niters=args.niters,
-                                           compute_time=1e-5)
-                config = ProtocolConfig(
-                    checkpoint_interval=6e-5,
-                    cluster_of=block_clusters(nprocs, ncl),
-                    cluster_stagger=8e-6, rank_stagger=2e-7,
-                    lightweight=True, retain_payloads=False,
-                )
-                world, controller = build_ft_world(
-                    nprocs, factory, config, copy_payloads=False
-                )
-                sampler = SpeSampler(controller, interval=7e-5)
-                sampler.arm()
-                world.launch()
-                world.run()
-                if not sampler.snapshots:
-                    sampler.take()
-                log = controller.logging_stats()
-                rb = rollback_analysis(sampler.snapshots, nprocs)
-                cells.append(Table1Cell(name, nprocs, ncl,
-                                        100 * log["log_fraction"], rb.percent))
+    from .sweep import run_sweep
+
+    tasks = table1_tasks(args.kernels, args.ranks, args.clusters, args.niters)
+    results = run_sweep(table1_cell, tasks, workers=args.workers)
+    failed = [r for r in results if not r.ok]
+    for r in failed:
+        print(f"cell {r.name} failed: {r.error}", file=sys.stderr)
+    cells = [
+        Table1Cell(v["kernel"], v["ranks"], v["clusters"],
+                   v["pct_log"], v["pct_rollback"])
+        for v in (r.value for r in results if r.ok)
+    ]
     print(format_table1(cells))
     theory = "  ".join(
         f"{p}cl:{100 * expected_rollback_fraction(p):.1f}%"
         for p in sorted(set(args.clusters))
     )
     print(f"theoretical %rl ((p+1)/2p): {theory}")
-    return 0
+    return 1 if failed else 0
+
+
+def failure_scenario(params: dict) -> dict:
+    """One randomized failure/recovery run (module-level for pickling).
+
+    The sweep seed picks the failing rank and failure time; the run then
+    validates recovery against its own failure-free reference and reports
+    rollback/logging statistics.
+    """
+    import random
+
+    nprocs, ncl, niters = params["ranks"], params["clusters"], params["niters"]
+    rng = random.Random(params["seed"])
+    config = ProtocolConfig(checkpoint_interval=3e-5,
+                            cluster_of=block_clusters(nprocs, ncl),
+                            cluster_stagger=5e-6, rank_stagger=1e-6)
+    factory = lambda r, s: Stencil2D(r, s, niters=niters, block=3)
+    ref, _ = _run(nprocs, factory, config)
+    fail_rank = rng.randrange(nprocs)
+    fail_time = rng.uniform(0.2, 0.8) * ref.engine.now
+    world, controller = build_ft_world(nprocs, factory, config)
+    controller.inject_failure(fail_time, fail_rank)
+    controller.arm()
+    world.launch()
+    world.run()
+    report = controller.recovery_reports[0]
+    stats = controller.logging_stats()
+    valid = all(
+        np.allclose(ref.programs[r].result(), world.programs[r].result())
+        for r in range(nprocs)
+    ) and ref.tracer.logical_send_sequences() == world.tracer.logical_send_sequences()
+    return {
+        "fail_rank": fail_rank,
+        "fail_time_ms": fail_time * 1e3,
+        "rolled_back": sorted(report.rolled_back),
+        "pct_rolled_back": 100 * len(report.rolled_back) / nprocs,
+        "recovery_rounds": len(controller.recovery_reports),
+        "pct_log": 100 * stats["log_fraction"],
+        "valid": valid,
+    }
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import SweepTask, run_sweep, save_results
+
+    if args.scenario == "table1":
+        kernels = sorted(TABLE1_KERNELS)
+        tasks = table1_tasks(kernels, [args.ranks], [args.clusters],
+                             niters=max(2, args.niters // 5))
+        fn = table1_cell
+    else:
+        tasks = [
+            SweepTask(name=f"failure-{i:03d}",
+                      params={"ranks": args.ranks, "clusters": args.clusters,
+                              "niters": args.niters})
+            for i in range(args.runs)
+        ]
+        fn = failure_scenario
+
+    done = {"n": 0}
+
+    def progress(result):
+        done["n"] += 1
+        status = "ok" if result.ok else "ERROR"
+        print(f"[{done['n']:3d}/{len(tasks)}] {result.name}: {status} "
+              f"({result.duration:.2f}s)", file=sys.stderr)
+
+    results = run_sweep(fn, tasks, workers=args.workers,
+                        base_seed=args.base_seed, on_progress=progress)
+    ok = [r for r in results if r.ok]
+    failed = [r for r in results if not r.ok]
+    for r in failed:
+        print(f"{r.name} failed: {r.error}", file=sys.stderr)
+    if args.scenario == "failures" and ok:
+        invalid = [r.name for r in ok if not r.value["valid"]]
+        mean_rb = sum(r.value["pct_rolled_back"] for r in ok) / len(ok)
+        print(f"{len(ok)}/{len(results)} runs ok, mean rolled back "
+              f"{mean_rb:.1f}%, validity violations: {invalid or 'none'}")
+        if invalid:
+            return 1
+    if args.out:
+        save_results(args.out, results, sweep_name=args.scenario,
+                     extra={"ranks": args.ranks, "clusters": args.clusters,
+                            "workers": args.workers,
+                            "base_seed": args.base_seed})
+        print(f"results -> {args.out}")
+    return 1 if failed else 0
 
 
 def cmd_fig6(_args: argparse.Namespace) -> int:
@@ -248,6 +390,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "demo": cmd_demo,
     "table1": cmd_table1,
+    "sweep": cmd_sweep,
     "fig6": cmd_fig6,
     "pattern": cmd_pattern,
     "domino": cmd_domino,

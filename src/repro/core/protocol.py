@@ -29,12 +29,11 @@ from the log by the protocol layer).
 
 from __future__ import annotations
 
-import copy
 import enum
 from typing import Any, TYPE_CHECKING
 
 from ..errors import ProtocolError
-from ..simmpi.message import CONTROL_TAG_BASE, Envelope
+from ..simmpi.message import CONTROL_TAG_BASE, Envelope, retention_copy
 from ..simmpi.process import ProtocolHook
 from .state import LoggedMessage, PendingAck, ProtocolState
 
@@ -75,6 +74,16 @@ class SDProtocol(ProtocolHook):
         self.state = ProtocolState.initial(controller.initial_epoch(rank))
         self.status = Status.RUNNING
         self.schedule = controller.make_schedule(rank)
+        # --- ack coalescing (cfg.ack_batch > 1) -------------------------
+        self._ack_batch = max(1, cfg.ack_batch)
+        self._ack_timeout = cfg.ack_flush_timeout
+        #: peer -> pending ack records awaiting a piggyback or a flush.
+        #: Each record latches the reception epoch AT DELIVERY TIME, so the
+        #: sender's epoch-crossing logging decision is identical whether the
+        #: record travels immediately or batched (see docs/performance.md).
+        self._pending_acks: dict[int, list[dict[str, Any]]] = {}
+        #: peer -> engine handle of the armed flush timer
+        self._ack_timers: dict[int, Any] = {}
         # --- recovery-round scratch state ------------------------------
         self.round = 0
         self._spe_uploaded_round = 0
@@ -104,6 +113,8 @@ class SDProtocol(ProtocolHook):
         self.messages_suppressed = 0
         self.messages_replayed = 0
         self.acks_sent = 0
+        self.acks_piggybacked = 0
+        self.ack_flushes = 0
         obs = controller.obs
         self.obs = obs if obs.enabled else None
 
@@ -126,11 +137,22 @@ class SDProtocol(ProtocolHook):
     def on_app_send(self, env: Envelope) -> None:
         st = self.state
         date = st.next_date()
-        env.meta["date"] = date
-        env.meta["epoch"] = st.epoch
-        env.meta["phase"] = st.phase
+        meta = env.meta
+        meta["date"] = date
+        meta["epoch"] = st.epoch
+        meta["phase"] = st.phase
+        if self._ack_batch > 1 and self._pending_acks:
+            # piggyback every ack we owe this peer on the outgoing message
+            batch = self._pending_acks.pop(env.dst, None)
+            if batch:
+                meta["acks"] = batch
+                self.acks_piggybacked += len(batch)
+                self._cancel_ack_timer(env.dst)
+        # copy-on-log: the NonAck entry is the staging area of the
+        # sender-based log, so this is where a mutable payload gets its one
+        # retention copy (immutable payloads are shared — zero-copy)
         payload = (
-            copy.deepcopy(env.payload)
+            retention_copy(env.payload)
             if self.controller.config.retain_payloads
             else None
         )
@@ -151,7 +173,15 @@ class SDProtocol(ProtocolHook):
     # ------------------------------------------------------------------
     def on_message(self, env: Envelope) -> bool:
         st = self.state
-        date = env.meta["date"]
+        meta = env.meta
+        if self._ack_batch > 1:
+            # acks the peer coalesced onto this message precede it causally
+            acks = meta.get("acks")
+            if acks is not None:
+                src = env.src
+                for rec in acks:
+                    self._on_ack(src, rec)
+        date = meta["date"]
         if st.is_duplicate(env.src, date):
             # A re-emission during recovery of a message this process still
             # holds the effects of.  Check whether it is the last expected
@@ -165,8 +195,8 @@ class SDProtocol(ProtocolHook):
         # Fresh message: phase propagation (lines 21-24).  A message coming
         # from an older epoch than ours was (or will be) logged by its
         # sender — the causality path is broken, bump past its phase.
-        msg_phase = env.meta["phase"]
-        if env.meta["epoch"] < st.epoch:
+        msg_phase = meta["phase"]
+        if meta["epoch"] < st.epoch:
             st.phase = max(st.phase, msg_phase + 1)
         else:
             st.phase = max(st.phase, msg_phase)
@@ -179,16 +209,86 @@ class SDProtocol(ProtocolHook):
         self.acks_sent += 1
         if self.obs is not None:
             self.obs.counter("protocol.acks_sent", ("dup",)).inc(labels=(duplicate,))
-        self._ctl(
-            env.src,
-            CTL.ACK,
-            {
-                "date": env.meta["date"],
-                "epoch_send": env.meta["epoch"],
-                "epoch_recv": self.state.epoch,
-                "dup": duplicate,
-            },
+        meta = env.meta
+        record = {
+            "date": meta["date"],
+            "epoch_send": meta["epoch"],
+            "epoch_recv": self.state.epoch,
+            "dup": duplicate,
+        }
+        # Coalescing: fresh acks join the per-peer batch; duplicate acks
+        # (recovery traffic) always travel eagerly so replay bookkeeping
+        # resolves promptly.  With the default ack_batch=1 this method is
+        # byte-for-byte the paper's one-ack-per-message protocol.
+        if self._ack_batch <= 1 or duplicate:
+            self._ctl(env.src, CTL.ACK, record)
+            return
+        batch = self._pending_acks.setdefault(env.src, [])
+        batch.append(record)
+        if len(batch) >= self._ack_batch:
+            self._flush_ack_channel(env.src)
+        elif len(batch) == 1 and self._ack_timeout:
+            self._arm_ack_timer(env.src)
+
+    # ------------------------------------------------------------------
+    # Ack-coalescing plumbing (active only when config.ack_batch > 1)
+    # ------------------------------------------------------------------
+    def _arm_ack_timer(self, dst: int) -> None:
+        handle = self.world.engine.schedule(
+            self._ack_timeout, lambda: self._ack_timer_fired(dst)
         )
+        self._ack_timers[dst] = handle
+
+    def _cancel_ack_timer(self, dst: int) -> None:
+        handle = self._ack_timers.pop(dst, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _ack_timer_fired(self, dst: int) -> None:
+        self._ack_timers.pop(dst, None)
+        self._flush_ack_channel(dst)
+
+    def _flush_ack_channel(self, dst: int) -> int:
+        """Send every pending ack record for ``dst`` as one control message."""
+        self._cancel_ack_timer(dst)
+        batch = self._pending_acks.pop(dst, None)
+        if not batch:
+            return 0
+        self.ack_flushes += 1
+        if self.obs is not None:
+            self.obs.counter("protocol.ack_flushes").inc()
+            self.obs.counter("protocol.acks_batched").inc(len(batch))
+        self._ctl(dst, CTL.ACK, {"batch": batch})
+        return len(batch)
+
+    def flush_acks(self) -> int:
+        """Flush every pending ack batch; returns the record count flushed.
+
+        Called at program completion and by the controller's post-failure
+        drain loop, which restores the sequential invariant that every
+        delivered message has been acknowledged before recovery bookkeeping
+        (SPE upload, recovery-line fix-point) starts.
+        """
+        if not self._pending_acks:
+            return 0
+        return sum(
+            self._flush_ack_channel(dst) for dst in sorted(self._pending_acks)
+        )
+
+    def _drop_pending_acks(self) -> None:
+        """Discard batched acks (rollback: their deliveries are rolled away).
+
+        Safe by the monotone-knowledge argument of DESIGN.md §7.2: an
+        unacknowledged NonAck entry is replayed on the next recovery round
+        and resolved by the receiver's duplicate (or fresh) acknowledgement.
+        """
+        for dst in list(self._ack_timers):
+            self._cancel_ack_timer(dst)
+        self._pending_acks.clear()
+
+    def on_program_done(self) -> None:
+        if self._ack_batch > 1:
+            self.flush_acks()
 
     def _orphan_countdown(self, src: int, date: int) -> None:
         # One NoOrphan notification per drained (phase, sender) pair: the
@@ -290,7 +390,12 @@ class SDProtocol(ProtocolHook):
     def on_control(self, env: Envelope) -> None:
         tag, payload = env.tag, env.payload
         if tag == CTL.ACK:
-            self._on_ack(env.src, payload)
+            batch = payload.get("batch")
+            if batch is not None:
+                for rec in batch:
+                    self._on_ack(env.src, rec)
+            else:
+                self._on_ack(env.src, payload)
         elif tag == CTL.ROLLBACK:
             self._on_rollback_notice(payload)
         elif tag == CTL.RECOVERY_LINE:
@@ -497,8 +602,9 @@ class SDProtocol(ProtocolHook):
             pa.dst == dst and pa.date == date for pa in self.state.non_ack
         ):
             self.state.non_ack.append(
-                PendingAck(dst=dst, tag=tag, payload=copy.deepcopy(payload), size=size,
-                           date=date, epoch_send=epoch_send, phase_send=phase_send)
+                PendingAck(dst=dst, tag=tag, payload=retention_copy(payload),
+                           size=size, date=date, epoch_send=epoch_send,
+                           phase_send=phase_send)
             )
         self.messages_replayed += 1
         if self.obs is not None:
@@ -514,6 +620,8 @@ class SDProtocol(ProtocolHook):
         an earlier recovery) may have landed in later epochs.  Lift them
         with the monotone observation table so the next recovery's replay
         filter and fix-point see current knowledge (DESIGN.md §7.2)."""
+        # batched acks refer to deliveries of the branch being abandoned
+        self._drop_pending_acks()
         for lm in state.logs:
             observed = self._ack_obs.get(lm.dst, {}).get(lm.date, 0)
             if observed > lm.epoch_recv:

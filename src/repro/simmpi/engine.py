@@ -1,13 +1,25 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is a classic calendar queue: events are ``(time, seq, callback)``
-triples ordered by time with a monotonically increasing sequence number as a
-tie-breaker, which makes every run bit-reproducible — a property the
-correctness tests rely on to compare failure-free and post-failure
-executions message by message.
+The engine is a classic calendar queue: events are ``[time, seq, state,
+callback]`` records ordered by time with a monotonically increasing
+sequence number as a tie-breaker, which makes every run bit-reproducible —
+a property the correctness tests rely on to compare failure-free and
+post-failure executions message by message.
 
 The engine knows nothing about MPI, processes or fault tolerance; it only
 dispatches callbacks at virtual times.
+
+Hot-path layout
+---------------
+Queue entries are plain lists, not objects: heap sift comparisons stay in
+C (list-vs-list lexicographic compare never reaches the callback slot
+because sequence numbers are unique), and the dispatch loop in
+:meth:`Engine.run` pops each entry exactly once instead of the classic
+peek-then-pop double heap traversal.  Cancellation flips the entry's state
+slot in place; cancelled entries are dropped lazily when they surface at
+the head, and a compaction pass rebuilds the heap whenever cancelled
+garbage exceeds half the queue (heavy cancellers — failure purges — would
+otherwise accumulate dead entries in the middle of the heap forever).
 
 Observability: pass a :class:`repro.obs.MetricsRegistry` to count events
 dispatched per callback class and sample queue depth.  With the default
@@ -18,7 +30,6 @@ single identity comparison per event.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import SimulationError
@@ -26,41 +37,43 @@ from ..obs.registry import DEPTH_BUCKETS
 
 __all__ = ["Engine", "EventHandle"]
 
+# Queue-entry slots: [time, seq, state, callback].
+_TIME, _SEQ, _STATE, _CALLBACK = 0, 1, 2, 3
+# Entry states.
+_PENDING, _CANCELLED, _DISPATCHED = 0, 1, 2
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    dispatched: bool = field(default=False, compare=False)
+#: never compact below this queue size (rebuild cost would dominate)
+_COMPACT_MIN = 64
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.schedule`; allows cancellation."""
 
-    __slots__ = ("_event", "_engine")
+    __slots__ = ("_entry", "_engine")
 
-    def __init__(self, event: _Event, engine: "Engine"):
-        self._event = event
+    def __init__(self, entry: list, engine: "Engine"):
+        self._entry = entry
         self._engine = engine
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_STATE] == _CANCELLED
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it; cancelling twice (or after
         the event already ran) is a no-op."""
-        event = self._event
-        if event.cancelled or event.dispatched:
+        entry = self._entry
+        if entry[_STATE] != _PENDING:
             return
-        event.cancelled = True
-        self._engine._pending -= 1
+        entry[_STATE] = _CANCELLED
+        engine = self._engine
+        engine._pending -= 1
+        engine._cancelled += 1
+        engine._maybe_compact()
 
 
 class Engine:
@@ -77,10 +90,12 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0, obs: Any = None):
         self.now: float = float(start_time)
-        self._queue: list[_Event] = []
+        self._queue: list[list] = []
         self._seq = 0
         self._pending = 0
+        self._cancelled = 0
         self._events_dispatched = 0
+        self._compactions = 0
         self._running = False
         self.obs = obs if (obs is not None and obs.enabled) else None
         if self.obs is not None:
@@ -97,7 +112,11 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self._push(self.now + delay, callback)
+        seq = self._seq = self._seq + 1
+        entry = [self.now + delay, seq, _PENDING, callback]
+        self._pending += 1
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry, self)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``time``.
@@ -108,18 +127,40 @@ class Engine:
         network's per-channel FIFO tie-break — keep their invariants even
         at large virtual times where one ulp matters.
         """
-        return self._push(max(self.now, float(time)), callback)
+        time = float(time)
+        now = self.now
+        if time < now:
+            time = now
+        seq = self._seq = self._seq + 1
+        entry = [time, seq, _PENDING, callback]
+        self._pending += 1
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry, self)
 
     def call_soon(self, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at the current instant (after queued peers)."""
         return self.schedule(0.0, callback)
 
-    def _push(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        event = _Event(time, self._seq, callback)
-        self._seq += 1
-        self._pending += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event, self)
+    # ------------------------------------------------------------------
+    # Cancelled-entry compaction
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when cancelled garbage exceeds half the queue.
+
+        :meth:`run`'s lazy skip only drops cancelled entries that reach the
+        *head*; workloads that cancel heavily (network purges on failure)
+        strand garbage in the middle of the heap, so without this bound the
+        queue grows without limit while ``pending`` stays small.
+        """
+        if self._cancelled < _COMPACT_MIN or self._cancelled * 2 < len(self._queue):
+            return
+        queue = self._queue
+        # in place: run() caches a reference to the queue list, so the
+        # compacted heap must keep the same identity
+        queue[:] = [e for e in queue if e[_STATE] == _PENDING]
+        heapq.heapify(queue)
+        self._cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -134,27 +175,40 @@ class Engine:
     def events_dispatched(self) -> int:
         return self._events_dispatched
 
+    @property
+    def queue_garbage(self) -> int:
+        """Cancelled entries still physically present in the heap."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Number of lazy compaction passes performed so far."""
+        return self._compactions
+
     def step(self) -> bool:
         """Dispatch the next event.  Returns ``False`` when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if entry[_STATE] == _CANCELLED:
+                self._cancelled -= 1
                 continue
-            if event.time < self.now:
+            time = entry[_TIME]
+            if time < self.now:
                 raise SimulationError("event queue corrupted: time went backwards")
-            self.now = event.time
-            event.dispatched = True
+            self.now = time
+            entry[_STATE] = _DISPATCHED
             self._pending -= 1
             self._events_dispatched += 1
             if self.obs is not None:
-                self._record_dispatch(event)
-            event.callback()
+                self._record_dispatch(entry)
+            entry[_CALLBACK]()
             return True
         return False
 
-    def _record_dispatch(self, event: _Event) -> None:
+    def _record_dispatch(self, entry: list) -> None:
         """Attribute the dispatch to the callback's class (cold path)."""
-        cb = event.callback
+        cb = entry[_CALLBACK]
         func = getattr(cb, "__func__", cb)
         label = getattr(func, "__qualname__", None) or type(cb).__name__
         obs = self.obs
@@ -175,29 +229,51 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         dispatched = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        unbounded = until is None and max_events is None
         try:
             while True:
-                peek = self._peek_time()
-                if peek == float("inf"):
+                # drop cancelled garbage that surfaced at the head, then
+                # peek the head entry once — the same entry is popped below,
+                # so each live event costs exactly one sift-down
+                while queue and queue[0][_STATE] == _CANCELLED:
+                    heappop(queue)
+                    self._cancelled -= 1
+                if not queue:
                     # queue drained before the horizon: still advance the
                     # clock so back-to-back run(until=...) calls see time
                     # move monotonically to each horizon
                     if until is not None and until > self.now:
                         self.now = until
                     break
-                if until is not None and peek > until:
-                    self.now = until
-                    break
-                if max_events is not None and dispatched >= max_events:
-                    break
-                if self.step():
-                    dispatched += 1
+                time = queue[0][_TIME]
+                if not unbounded:
+                    if until is not None and time > until:
+                        self.now = until
+                        break
+                    if max_events is not None and dispatched >= max_events:
+                        break
+                entry = heappop(queue)
+                if time < self.now:
+                    raise SimulationError(
+                        "event queue corrupted: time went backwards"
+                    )
+                self.now = time
+                entry[_STATE] = _DISPATCHED
+                self._pending -= 1
+                self._events_dispatched += 1
+                dispatched += 1
+                if self.obs is not None:
+                    self._record_dispatch(entry)
+                entry[_CALLBACK]()
         finally:
             self._running = False
 
     def _peek_time(self) -> float:
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][_STATE] == _CANCELLED:
             heapq.heappop(self._queue)
+            self._cancelled -= 1
         if not self._queue:
             return float("inf")
-        return self._queue[0].time
+        return self._queue[0][_TIME]

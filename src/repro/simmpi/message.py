@@ -17,8 +17,8 @@ Application tags are non-negative integers.  Negative tags are reserved:
 
 from __future__ import annotations
 
+import copy as _copy
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
@@ -28,6 +28,8 @@ __all__ = [
     "COLLECTIVE_TAG_BASE",
     "Envelope",
     "payload_nbytes",
+    "is_immutable_payload",
+    "retention_copy",
 ]
 
 #: wildcard source for receive operations
@@ -50,13 +52,51 @@ def payload_nbytes(payload: Any) -> int:
     report their true buffer size; bytes-likes their length; everything else
     a small constant (the simulator only needs sizes for timing, and control
     payloads are small).
+
+    The exact-type fast paths return the same values as the generic chain
+    below them (exact builtins cannot grow an ``nbytes`` attribute) — they
+    exist because this runs once per envelope and the generic ``getattr``
+    probe costs more than the whole sizing of a small control dict.
     """
+    t = type(payload)
+    if t is int or t is float or t is bool or payload is None:
+        return 8
+    if t is bytes or t is bytearray:
+        return len(payload)
+    if t is str:
+        # ascii strings encode 1:1, sparing the bytes allocation
+        return len(payload) if payload.isascii() else len(payload.encode())
+    if t is tuple or t is list:
+        n = 16
+        for x in payload:
+            tx = type(x)
+            if tx is int or tx is float or tx is bool or x is None:
+                n += 8
+            else:
+                n += payload_nbytes(x)
+        return n
+    if t is dict:
+        # protocol control records are small str->scalar dicts; inlining
+        # the scalar cases keeps sizing them to one call, not one per field
+        n = 16
+        for k, v in payload.items():
+            tk = type(k)
+            if tk is str and k.isascii():
+                n += len(k)
+            else:
+                n += payload_nbytes(k)
+            tv = type(v)
+            if tv is int or tv is float or tv is bool or v is None:
+                n += 8
+            else:
+                n += payload_nbytes(v)
+        return n
     nbytes = getattr(payload, "nbytes", None)
     if nbytes is not None:
         return int(nbytes)
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
-    if isinstance(payload, (int, float, bool)) or payload is None:
+    if isinstance(payload, (int, float, bool)):
         return 8
     if isinstance(payload, str):
         return len(payload.encode())
@@ -67,7 +107,38 @@ def payload_nbytes(payload: Any) -> int:
     return 64
 
 
-@dataclass
+#: exact types whose instances can never be mutated — sharing them between
+#: the wire, the sender-based log and checkpoints is always safe
+_IMMUTABLE_TYPES = frozenset(
+    (type(None), bool, int, float, complex, str, bytes, frozenset)
+)
+
+
+def is_immutable_payload(payload: Any) -> bool:
+    """True when ``payload`` is a deeply immutable value.
+
+    Tuples count when every element does (recursively).  Anything else —
+    numpy arrays, lists, dicts, arbitrary objects — is assumed mutable.
+    """
+    if type(payload) in _IMMUTABLE_TYPES:
+        return True
+    if type(payload) is tuple:
+        return all(is_immutable_payload(x) for x in payload)
+    return False
+
+
+def retention_copy(payload: Any) -> Any:
+    """Copy ``payload`` for retention (sender-based log, checkpoint).
+
+    The zero-copy rule: immutable payloads are shared, mutable ones are
+    deep-copied at the moment they are *retained* — not at send time.  This
+    is the only place the protocol stack pays a payload copy.
+    """
+    if is_immutable_payload(payload):
+        return payload
+    return _copy.deepcopy(payload)
+
+
 class Envelope:
     """A message in flight.
 
@@ -95,19 +166,41 @@ class Envelope:
         by the failure model to identify pre-failure traffic).
     """
 
-    src: int
-    dst: int
-    tag: int
-    payload: Any
-    size: int = 0
-    meta: dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_uid_counter))
-    send_time: float = 0.0
-    src_incarnation: int = 0
+    __slots__ = (
+        "src", "dst", "tag", "payload", "size", "meta", "uid",
+        "send_time", "src_incarnation",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            self.size = payload_nbytes(self.payload)
+    # hand-written __init__ (not a dataclass): one envelope is built per
+    # message on the wire, and folding the size default into the
+    # constructor avoids the generated-__init__ + __post_init__ call pair
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: Any,
+        size: int = 0,
+        meta: dict[str, Any] | None = None,
+        uid: int | None = None,
+        send_time: float = 0.0,
+        src_incarnation: int = 0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.size = size if size > 0 else payload_nbytes(payload)
+        self.meta = {} if meta is None else meta
+        self.uid = next(_uid_counter) if uid is None else uid
+        self.send_time = send_time
+        self.src_incarnation = src_incarnation
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(src={self.src}, dst={self.dst}, tag={self.tag}, "
+            f"size={self.size}, uid={self.uid})"
+        )
 
     @property
     def is_control(self) -> bool:

@@ -84,6 +84,14 @@ class Network:
                  obs: Any = None):
         self.engine = engine
         self.timing = timing or TimingModel()
+        # the model is a frozen dataclass, so its parameters are loop
+        # invariants of transmit(); cache them as locals-of-self to keep
+        # the per-message cost to plain arithmetic
+        self._latency = self.timing.latency
+        self._bandwidth = self.timing.bandwidth
+        self._send_overhead = self.timing.send_overhead
+        self._per_byte = self.timing.per_byte_overhead
+        self._jitter = self.timing.jitter
         self._rng = random.Random(seed)
         # rank -> callable(Envelope)
         self._receivers: dict[int, Callable[[Envelope], None]] = {}
@@ -113,12 +121,18 @@ class Network:
         """
         if env.dst not in self._receivers:
             raise SimulationError(f"transmit to unknown rank {env.dst}: {env.describe()}")
-        env.send_time = self.engine.now
-        transit = self.timing.transit_time(env.size, self._rng if self.timing.jitter else None)
+        engine = self.engine
+        size = env.size
+        env.send_time = engine.now
+        # inlined TimingModel.transit_time / sender_cpu_time with the same
+        # expressions (bit-identical floats; reproducibility depends on it)
+        transit = self._latency + size / self._bandwidth
+        if self._jitter:
+            transit *= 1.0 + self._jitter * self._rng.random()
         # sender CPU (post overhead + logging copies) serialises before the
         # wire: the NIC only sees the buffer once it is prepared
-        cpu = self.timing.sender_cpu_time(env.size)
-        arrival = self.engine.now + cpu + transit
+        cpu = self._send_overhead + size * self._per_byte
+        arrival = engine.now + cpu + transit
         chan = (env.src, env.dst)
         prev = self._last_arrival.get(chan, -1.0)
         if arrival <= prev:

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, TYPE_CHECKING
 
 from ..errors import SimulationError
-from .message import ANY_SOURCE, ANY_TAG, Envelope
+from .message import ANY_SOURCE, ANY_TAG, CONTROL_TAG_BASE, Envelope
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runtime import World
@@ -428,8 +428,6 @@ class Proc:
     # Send path
     # ------------------------------------------------------------------
     def _make_envelope(self, dst: int, payload: Any, tag: int, size: int) -> Envelope:
-        from .message import CONTROL_TAG_BASE
-
         if tag <= CONTROL_TAG_BASE:
             raise SimulationError(
                 f"tag {tag} is reserved for the protocol control plane"

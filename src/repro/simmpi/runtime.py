@@ -10,14 +10,13 @@ tolerance, which is what the native-performance baselines measure.
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Callable
 
 from ..errors import DeadlockError, SimulationError
 from ..obs.registry import NULL_OBS
 from .api import MpiApi
 from .engine import Engine
-from .message import Envelope
+from .message import CONTROL_TAG_BASE, Envelope, retention_copy
 from .network import Network, TimingModel
 from .process import NullHook, Proc, ProtocolHook
 from .trace import Tracer
@@ -41,9 +40,16 @@ class World:
     hook_factory:
         ``f(rank) -> ProtocolHook`` creating the per-rank protocol hook.
     copy_payloads:
-        Deep-copy payloads at send time so sender-side buffer reuse cannot
-        corrupt in-flight or logged messages.  Benchmarks that only care
-        about timing may disable it.
+        Deep-copy *mutable* payloads at send time so sender-side buffer
+        reuse cannot corrupt in-flight messages.  Immutable payloads
+        (ints, floats, strings, bytes, tuples of immutables, ``None``) are
+        never copied under either setting — sharing them is always safe.
+        The rank programs in :mod:`repro.apps` all hand fresh buffers to
+        ``send`` and never mutate them afterwards, so the default ``False``
+        is zero-copy end to end; the protocol layer makes its own retention
+        copies when an envelope enters the sender-based log or a checkpoint
+        (copy-on-log — see :func:`repro.simmpi.message.retention_copy`).
+        Enable only for programs that recycle send buffers in place.
     record_events:
         Keep the full event log in the tracer (memory-hungry; off by
         default, counts and sequences are always kept).
@@ -59,7 +65,7 @@ class World:
         program_factory: Callable[[int, int], Any],
         timing: TimingModel | None = None,
         hook_factory: Callable[[int], ProtocolHook] | None = None,
-        copy_payloads: bool = True,
+        copy_payloads: bool = False,
         record_events: bool = False,
         network_seed: int = 0,
         obs: Any = None,
@@ -90,12 +96,16 @@ class World:
             proc.start(self.programs[rank].run(self.apis[rank]))
 
     def _make_receiver(self, rank: int) -> Callable[[Envelope], None]:
+        proc = self.procs[rank]
+        tracer = self.tracer
+        engine = self.engine
+
         def receive(env: Envelope) -> None:
-            proc = self.procs[rank]
-            if env.is_control:
+            # env.is_control inlined: this runs once per delivered message
+            if env.tag <= CONTROL_TAG_BASE:
                 proc.deliver_control(env)
             else:
-                self.tracer.on_app_deliver(env, self.engine.now)
+                tracer.on_app_deliver(env, engine.now)
                 proc.deliver(env)
 
         return receive
@@ -106,7 +116,9 @@ class World:
     def transmit_app(self, env: Envelope) -> float:
         """Send an application envelope; returns sender CPU time."""
         if self.copy_payloads:
-            env.payload = copy.deepcopy(env.payload)
+            # defensive mode for buffer-recycling programs: immutable
+            # payloads still travel zero-copy (retention_copy shares them)
+            env.payload = retention_copy(env.payload)
         self.tracer.on_app_send(
             env, self.engine.now, is_replay_dup=bool(env.meta.get("replayed"))
         )

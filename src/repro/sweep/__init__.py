@@ -1,0 +1,30 @@
+"""Parallel scenario sweeps (``repro.sweep``).
+
+Fans independent simulation runs across worker processes.  Every run is a
+self-contained deterministic simulation, so a sweep parallelises trivially;
+the executor adds the operational pieces: per-run deterministic seeds,
+crash isolation (a failing run yields an error *result*, not a dead sweep),
+ordered structured results, and progress reporting through
+:mod:`repro.obs`.
+
+With ``workers <= 1`` the executor degrades to a plain in-process loop —
+the results (and any output derived from them) are byte-identical to code
+that never imported this module, which is what lets the CLI bolt
+``--workers`` onto existing commands without re-validating their output.
+"""
+
+from .executor import (
+    SweepResult,
+    SweepTask,
+    run_sweep,
+    save_results,
+    task_seed,
+)
+
+__all__ = [
+    "SweepResult",
+    "SweepTask",
+    "run_sweep",
+    "save_results",
+    "task_seed",
+]

@@ -1,0 +1,231 @@
+"""Multiprocessing sweep executor.
+
+A *sweep* is a list of independent tasks, each a call of one module-level
+function with a parameter mapping.  The executor runs them sequentially
+(``workers <= 1``) or across a process pool, and always returns results in
+task order, so downstream consumers (tables, JSON artefacts) are
+independent of scheduling.
+
+Determinism
+-----------
+Each task receives a ``seed`` derived from ``(base_seed, index, name)``
+with :func:`task_seed`, which uses a keyed blake2b digest — stable across
+processes and interpreter invocations (unlike ``hash()``, which is salted
+per process).  Tasks that need randomness must take it from this seed.
+
+Crash isolation
+---------------
+The task function runs inside a try/except *in the worker*; an exception
+produces a ``status="error"`` :class:`SweepResult` carrying the formatted
+traceback while the rest of the sweep proceeds.  The sweep as a whole only
+fails if the pool infrastructure itself dies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["SweepTask", "SweepResult", "run_sweep", "save_results", "task_seed"]
+
+
+def task_seed(base_seed: int, index: int, name: str) -> int:
+    """Deterministic 63-bit per-task seed.
+
+    Stable across processes, platforms and ``PYTHONHASHSEED`` values; two
+    sweeps with the same ``base_seed`` and task list see identical seeds
+    regardless of worker count or scheduling.
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}:{index}:{name}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") & (2**63 - 1)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of work: ``fn(params)`` under a deterministic seed.
+
+    ``params`` must be picklable (it crosses the process boundary); the
+    executor injects ``seed`` into a copy of ``params`` before the call, so
+    task functions take a single mapping argument.
+    """
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one task, in task order.
+
+    ``status`` is ``"ok"`` or ``"error"``; an error result carries the
+    exception text and formatted traceback instead of a value.  ``duration``
+    is host wall-clock (informational only — it varies between runs and
+    must not feed any determinism-sensitive consumer).
+    """
+
+    index: int
+    name: str
+    status: str
+    value: Any = None
+    error: str | None = None
+    traceback: str | None = None
+    duration: float = 0.0
+    seed: int = 0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict[str, Any]:
+        out = {
+            "index": self.index,
+            "name": self.name,
+            "status": self.status,
+            "seed": self.seed,
+            "duration_s": round(self.duration, 6),
+            "params": _jsonable(self.params),
+        }
+        if self.status == "ok":
+            out["value"] = _jsonable(self.value)
+        else:
+            out["error"] = self.error
+            out["traceback"] = self.traceback
+        return out
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serialisable data (lossy fallback)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "to_json"):
+        return _jsonable(value.to_json())
+    if hasattr(value, "_asdict"):
+        return _jsonable(value._asdict())
+    return repr(value)
+
+
+def _execute(fn: Callable[[dict[str, Any]], Any], task: SweepTask,
+             index: int, seed: int) -> SweepResult:
+    """Run one task with crash isolation (used in-process and in workers)."""
+    params = dict(task.params)
+    params["seed"] = seed
+    t0 = time.perf_counter()
+    try:
+        value = fn(params)
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        return SweepResult(
+            index=index, name=task.name, status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            duration=time.perf_counter() - t0, seed=seed, params=task.params,
+        )
+    return SweepResult(
+        index=index, name=task.name, status="ok", value=value,
+        duration=time.perf_counter() - t0, seed=seed, params=task.params,
+    )
+
+
+def _worker(payload: tuple) -> SweepResult:
+    fn, task, index, seed = payload
+    return _execute(fn, task, index, seed)
+
+
+def run_sweep(
+    fn: Callable[[dict[str, Any]], Any],
+    tasks: Sequence[SweepTask] | Iterable[SweepTask],
+    workers: int = 1,
+    base_seed: int = 0,
+    obs: Any = None,
+    on_progress: Callable[[SweepResult], None] | None = None,
+) -> list[SweepResult]:
+    """Run every task through ``fn``; returns results in task order.
+
+    Parameters
+    ----------
+    fn:
+        Module-level function of one parameter mapping (must be picklable
+        for ``workers > 1``).  Receives the task's ``params`` plus a
+        ``seed`` entry.
+    workers:
+        ``<= 1`` runs inline in this process — bit-identical to a plain
+        loop, no multiprocessing machinery touched.  Higher values fan out
+        over a process pool (capped at the task count).
+    obs:
+        Optional :class:`repro.obs.MetricsRegistry`; progress lands in the
+        ``sweep.*`` counters and an event per completed task.
+    on_progress:
+        Callback invoked in the parent with each completed result
+        (completion order, which under parallel execution is not task
+        order).
+    """
+    tasks = list(tasks)
+    seeds = [task_seed(base_seed, i, t.name) for i, t in enumerate(tasks)]
+    obs = obs if (obs is not None and getattr(obs, "enabled", False)) else None
+
+    def _note(result: SweepResult) -> None:
+        if obs is not None:
+            obs.counter("sweep.tasks_completed", ("status",)).inc(
+                labels=(result.status,)
+            )
+            obs.event(
+                "sweep.task_done", name=result.name, status=result.status,
+                duration_s=result.duration,
+            )
+        if on_progress is not None:
+            on_progress(result)
+
+    if workers <= 1 or len(tasks) <= 1:
+        results = []
+        for i, task in enumerate(tasks):
+            result = _execute(fn, task, i, seeds[i])
+            _note(result)
+            results.append(result)
+        return results
+
+    nworkers = min(workers, len(tasks))
+    payloads = [(fn, t, i, seeds[i]) for i, t in enumerate(tasks)]
+    results_by_index: list[SweepResult | None] = [None] * len(tasks)
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=nworkers) as pool:
+        # unordered: progress reporting tracks actual completion; the
+        # index carried by each result restores task order afterwards
+        for result in pool.imap_unordered(_worker, payloads):
+            results_by_index[result.index] = result
+            _note(result)
+    missing = [i for i, r in enumerate(results_by_index) if r is None]
+    if missing:  # a worker died without returning (hard crash)
+        raise RuntimeError(f"sweep lost results for task indices {missing}")
+    return results_by_index  # type: ignore[return-value]
+
+
+def save_results(
+    path: str,
+    results: Sequence[SweepResult],
+    sweep_name: str = "sweep",
+    extra: dict[str, Any] | None = None,
+) -> None:
+    """Write a sweep's results as one structured JSON document."""
+    doc = {
+        "sweep": sweep_name,
+        "tasks": len(results),
+        "ok": sum(1 for r in results if r.ok),
+        "errors": sum(1 for r in results if not r.ok),
+        "results": [r.to_json() for r in results],
+    }
+    if extra:
+        doc.update(_jsonable(extra))
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=False)
+        fh.write("\n")

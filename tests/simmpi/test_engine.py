@@ -231,3 +231,85 @@ def test_pending_through_interleaved_cancel_and_dispatch():
     assert eng.pending == 2
     eng.run()
     assert eng.pending == 0
+
+
+# ----------------------------------------------------------------------
+# Cancelled-entry compaction (queue garbage must stay bounded)
+# ----------------------------------------------------------------------
+
+def test_queue_garbage_tracks_cancellations():
+    eng = Engine()
+    handles = [eng.schedule((i + 1) * 1e-6, lambda: None) for i in range(10)]
+    for h in handles[:4]:
+        h.cancel()
+    assert eng.queue_garbage == 4
+    assert eng.pending == 6
+    eng.run()
+    assert eng.queue_garbage == 0
+    assert eng.pending == 0
+
+
+def test_mass_cancellation_triggers_compaction():
+    """Cancelling most of a large queue rebuilds the heap instead of
+    letting dead entries accumulate (the unbounded-growth fix)."""
+    eng = Engine()
+    keep = eng.schedule(1.0, lambda: None)
+    doomed = [eng.schedule(2.0 + i * 1e-6, lambda: None) for i in range(200)]
+    for h in doomed:
+        h.cancel()
+    assert eng.compactions >= 1
+    # physical queue shrank to (close to) the live entries
+    assert len(eng._queue) <= eng.pending + eng.queue_garbage
+    assert eng.pending == 1
+    keep.cancel()
+    assert eng.pending == 0
+
+
+def test_no_compaction_below_minimum():
+    """Tiny queues never pay a rebuild (cost would dominate)."""
+    eng = Engine()
+    handles = [eng.schedule((i + 1) * 1e-6, lambda: None) for i in range(10)]
+    for h in handles:
+        h.cancel()
+    assert eng.compactions == 0
+    eng.run()
+    assert eng.pending == 0
+
+
+def test_compaction_during_run_keeps_queue_identity():
+    """Regression: run() caches the queue list, so a compaction fired from
+    inside a callback must rebuild it in place — rebinding the attribute
+    silently detached the loop from future events and corrupted the
+    pending/cancelled counters."""
+    eng = Engine()
+    order = []
+    doomed = []
+
+    def purge_and_continue():
+        order.append("purge")
+        for h in doomed:
+            h.cancel()
+        # scheduled AFTER the compaction the cancellations just triggered:
+        # it must still be seen by the already-running dispatch loop
+        eng.schedule(1e-6, lambda: order.append("after"))
+
+    eng.schedule(1e-6, purge_and_continue)
+    doomed.extend(eng.schedule(5.0 + i * 1e-6, lambda: None) for i in range(300))
+    eng.run()
+    assert order == ["purge", "after"]
+    assert eng.compactions >= 1
+    assert eng.pending == 0
+    assert eng.queue_garbage == 0
+
+
+def test_cancelled_events_do_not_dispatch_after_compaction():
+    eng = Engine()
+    fired = []
+    handles = [
+        eng.schedule((i + 1) * 1e-6, (lambda i=i: fired.append(i)))
+        for i in range(150)
+    ]
+    for h in handles[::2]:
+        h.cancel()
+    eng.run()
+    assert fired == list(range(1, 150, 2))

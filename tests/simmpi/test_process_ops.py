@@ -174,7 +174,9 @@ def test_unexpected_queue_buffers_early_messages():
     assert w.programs[1].state["out"] == list(range(5))
 
 
-def test_payload_copied_on_send_by_default():
+def test_payload_copied_on_send_when_opted_in():
+    # defensive mode for buffer-recycling programs: mutable payloads are
+    # copied at send time, so post-send mutation is invisible downstream
     def p0(api, out):
         buf = np.zeros(4)
         yield api.send(1, buf, tag=0)
@@ -184,8 +186,27 @@ def test_payload_copied_on_send_by_default():
         data = yield api.recv(0, tag=0)
         out.append(data.copy())
 
-    w = run_script(2, {0: p0, 1: p1})
+    w = run_script(2, {0: p0, 1: p1}, copy_payloads=True)
     np.testing.assert_array_equal(w.programs[1].state["out"][0], np.zeros(4))
+
+
+def test_payload_zero_copy_by_default():
+    # the default is zero-copy: the receiver observes the sender's buffer
+    # object itself, so programs must hand fresh buffers to send() (all the
+    # bundled apps do); the FT layer copies on log entry, not on send
+    def p0(api, out):
+        buf = np.zeros(4)
+        out.append(buf)
+        yield api.send(1, buf, tag=0)
+
+    def p1(api, out):
+        data = yield api.recv(0, tag=0)
+        out.append(data)
+
+    w = run_script(2, {0: p0, 1: p1})
+    sent = w.programs[0].state["out"][0]
+    received = w.programs[1].state["out"][0]
+    assert received is sent
 
 
 def test_message_counters():

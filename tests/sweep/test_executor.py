@@ -1,0 +1,165 @@
+"""Unit tests for the :mod:`repro.sweep` multiprocessing executor."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sweep import SweepResult, SweepTask, run_sweep, save_results, task_seed
+
+
+# Task functions must live at module level so they pickle into workers.
+
+def square(params):
+    return params["x"] * params["x"]
+
+
+def record_seed(params):
+    return params["seed"]
+
+
+def fail_on_odd(params):
+    if params["x"] % 2:
+        raise ValueError(f"odd input {params['x']}")
+    return params["x"]
+
+
+def structured(params):
+    return {"rate": params["x"] / 2, "pair": (params["x"], "name")}
+
+
+def _tasks(n):
+    return [SweepTask(name=f"t{i}", params={"x": i}) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# task_seed
+# ----------------------------------------------------------------------
+
+def test_task_seed_deterministic_and_distinct():
+    assert task_seed(0, 0, "a") == task_seed(0, 0, "a")
+    # any coordinate change moves the seed
+    assert task_seed(0, 0, "a") != task_seed(1, 0, "a")
+    assert task_seed(0, 0, "a") != task_seed(0, 1, "a")
+    assert task_seed(0, 0, "a") != task_seed(0, 0, "b")
+
+
+def test_task_seed_is_63_bit_non_negative():
+    for i in range(50):
+        s = task_seed(7, i, f"task-{i}")
+        assert 0 <= s < 2**63
+
+
+def test_task_seed_does_not_depend_on_hash_salt():
+    """The documented reason for blake2b: ``hash()`` is salted per process,
+    so per-task seeds must come from a content-addressed digest.  Pin the
+    value so any accidental switch to ``hash()`` fails on the next run."""
+    assert task_seed(0, 0, "pinned") == 7901061385613268754
+
+
+# ----------------------------------------------------------------------
+# run_sweep
+# ----------------------------------------------------------------------
+
+def test_sequential_sweep_returns_task_order():
+    results = run_sweep(square, _tasks(5), workers=1)
+    assert [r.index for r in results] == list(range(5))
+    assert [r.value for r in results] == [0, 1, 4, 9, 16]
+    assert all(r.ok and r.status == "ok" for r in results)
+
+
+def test_parallel_matches_sequential():
+    tasks = _tasks(6)
+    seq = run_sweep(square, tasks, workers=1, base_seed=3)
+    par = run_sweep(square, tasks, workers=2, base_seed=3)
+    strip = lambda rs: [(r.index, r.name, r.status, r.value, r.seed)
+                        for r in rs]
+    assert strip(par) == strip(seq)
+
+
+def test_seeds_injected_and_stable_across_worker_counts():
+    tasks = _tasks(4)
+    expected = [task_seed(11, i, t.name) for i, t in enumerate(tasks)]
+    for workers in (1, 3):
+        results = run_sweep(record_seed, tasks, workers=workers, base_seed=11)
+        assert [r.value for r in results] == expected
+        assert [r.seed for r in results] == expected
+
+
+def test_error_isolation_sweep_continues():
+    results = run_sweep(fail_on_odd, _tasks(5), workers=1)
+    assert [r.status for r in results] == ["ok", "error", "ok", "error", "ok"]
+    bad = results[1]
+    assert not bad.ok
+    assert bad.value is None
+    assert "ValueError" in bad.error and "odd input 1" in bad.error
+    assert "fail_on_odd" in bad.traceback
+
+
+def test_error_isolation_in_workers():
+    results = run_sweep(fail_on_odd, _tasks(5), workers=2)
+    assert [r.status for r in results] == ["ok", "error", "ok", "error", "ok"]
+    assert [r.index for r in results] == list(range(5))
+
+
+def test_params_not_mutated_by_seed_injection():
+    task = SweepTask(name="t", params={"x": 2})
+    run_sweep(square, [task], workers=1)
+    assert task.params == {"x": 2}  # seed went into a copy
+
+
+def test_progress_callback_sees_every_result():
+    seen = []
+    run_sweep(square, _tasks(4), workers=1, on_progress=seen.append)
+    assert sorted(r.index for r in seen) == list(range(4))
+
+
+def test_obs_counters_track_completions():
+    obs = MetricsRegistry()
+    run_sweep(fail_on_odd, _tasks(4), workers=1, obs=obs)
+    counter = obs.counter("sweep.tasks_completed", ("status",))
+    assert counter.get(labels=("ok",)) == 2
+    assert counter.get(labels=("error",)) == 2
+    done = [e for e in obs.events if e.kind == "sweep.task_done"]
+    assert len(done) == 4
+
+
+def test_empty_sweep():
+    assert run_sweep(square, [], workers=4) == []
+
+
+# ----------------------------------------------------------------------
+# save_results / to_json
+# ----------------------------------------------------------------------
+
+def test_save_results_structure(tmp_path):
+    results = run_sweep(fail_on_odd, _tasks(3), workers=1, base_seed=5)
+    out = tmp_path / "sweep.json"
+    save_results(str(out), results, sweep_name="demo", extra={"ranks": 8})
+    doc = json.loads(out.read_text())
+    assert doc["sweep"] == "demo"
+    assert doc["tasks"] == 3
+    assert doc["ok"] == 2
+    assert doc["errors"] == 1
+    assert doc["ranks"] == 8
+    assert [r["index"] for r in doc["results"]] == [0, 1, 2]
+    assert doc["results"][0]["value"] == 0
+    assert doc["results"][1]["status"] == "error"
+    assert "traceback" in doc["results"][1]
+    assert "value" not in doc["results"][1]
+    assert doc["results"][2]["seed"] == task_seed(5, 2, "t2")
+
+
+def test_to_json_handles_structured_values(tmp_path):
+    results = run_sweep(structured, _tasks(2), workers=1)
+    out = tmp_path / "sweep.json"
+    save_results(str(out), results)
+    doc = json.loads(out.read_text())
+    assert doc["results"][1]["value"] == {"rate": 0.5, "pair": [1, "name"]}
+
+
+def test_to_json_reprs_unserialisable_values():
+    res = SweepResult(index=0, name="t", status="ok", value=object())
+    encoded = res.to_json()
+    assert isinstance(encoded["value"], str)
+    json.dumps(encoded)  # must not raise

@@ -30,6 +30,51 @@ def test_table1_command(capsys):
     assert "%log" in out and "theoretical" in out
 
 
+def test_table1_command_parallel_output_identical(capsys):
+    argv = ["table1", "--kernels", "CG", "--ranks", "16",
+            "--clusters", "4", "--niters", "4"]
+    assert main(argv) == 0
+    sequential = capsys.readouterr().out
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == sequential
+
+
+def test_sweep_command_failures(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "sweep.json"
+    assert main(["sweep", "--scenario", "failures", "--ranks", "8",
+                 "--clusters", "2", "--niters", "20", "--runs", "3",
+                 "--out", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "3/3 runs ok" in stdout
+    assert "validity violations: none" in stdout
+    doc = json.loads(out.read_text())
+    assert doc["sweep"] == "failures"
+    assert doc["tasks"] == 3 and doc["ok"] == 3 and doc["errors"] == 0
+    for res in doc["results"]:
+        assert res["status"] == "ok"
+        assert res["value"]["valid"] is True
+
+
+def test_sweep_command_seed_reproducible(tmp_path):
+    import json
+
+    outs = []
+    for name in ("a.json", "b.json"):
+        out = tmp_path / name
+        assert main(["sweep", "--scenario", "failures", "--runs", "2",
+                     "--niters", "20", "--base-seed", "9",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        # durations are host wall-clock; everything else must match
+        for res in doc["results"]:
+            res.pop("duration_s")
+        outs.append(doc)
+    assert outs[0] == outs[1]
+
+
 def test_fig6_command(capsys):
     assert main(["fig6"]) == 0
     out = capsys.readouterr().out
