@@ -140,3 +140,35 @@ def test_instrumentation_overhead_factor(benchmark):
     benchmark.pedantic(_protocol_world, rounds=2, iterations=1)
     # enabled collection may cost, but must stay the same order of magnitude
     assert on_factor < 10
+
+
+def test_flight_recorder_overhead_factor(benchmark):
+    """Marginal cost of the protocol flight recorder on an already
+    instrumented run.
+
+    The recorder is one cached identity check plus a deque append per
+    protocol transition, so enabling it over live metrics must stay under
+    a 5 % slowdown (best-of-7 to ride out container jitter).
+    """
+    from repro.obs import MetricsRegistry
+
+    t_metrics = timed(
+        lambda: _protocol_world(obs=MetricsRegistry(flight_capacity=0)),
+        rounds=7)
+    t_flight = timed(lambda: _protocol_world(obs=MetricsRegistry()),
+                     rounds=7)
+    factor = t_flight / t_metrics if t_metrics else float("inf")
+    emit("flight_overhead.txt", format_table(
+        ["configuration", "wall s", "factor"],
+        [["metrics, flight off", f"{t_metrics:.3f}", "1.00"],
+         ["metrics + flight", f"{t_flight:.3f}", f"{factor:.2f}"]],
+    ))
+    emit_json("BENCH_throughput.json", {
+        "flight_off_wall_s": round(t_metrics, 6),
+        "flight_on_wall_s": round(t_flight, 6),
+        "flight_overhead_factor": round(factor, 3),
+    })
+    benchmark.pedantic(
+        lambda: _protocol_world(obs=MetricsRegistry()), rounds=2,
+        iterations=1)
+    assert factor < 1.05

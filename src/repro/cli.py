@@ -10,8 +10,11 @@ Thin front-end over the library for the common workflows:
 * ``fig6`` — print the ping-pong latency/bandwidth table;
 * ``pattern`` — print a kernel's communication matrix with clustering;
 * ``domino`` — quantify the domino effect vs the protocol;
-* ``obs`` — run an instrumented scenario and dump the metrics/trace
-  streams as JSON-lines or CSV (see ``docs/observability.md``).
+* ``explain`` — run a failure scenario and print, per rolled-back rank,
+  the chain of non-logged messages that forced its rollback;
+* ``obs`` — run an instrumented scenario and dump the metrics/trace/
+  flight streams as JSON-lines or CSV, or a Perfetto trace
+  (see ``docs/observability.md``).
 
 Each command prints the paper-style output the benchmarks save under
 ``results/`` but lets users pick parameters interactively.
@@ -90,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
     dom = sub.add_parser("domino", help="domino effect vs the protocol")
     dom.add_argument("--ranks", type=int, default=12)
 
+    ex = sub.add_parser(
+        "explain",
+        help="run a failure scenario and explain why each rank rolled back",
+    )
+    ex.add_argument("--ranks", type=int, default=8)
+    ex.add_argument("--clusters", type=int, default=2)
+    ex.add_argument("--fail-rank", type=int, default=None,
+                    help="rank to kill mid-run (default: last rank)")
+    ex.add_argument("--round", type=int, default=0,
+                    help="recovery round to explain (default: first)")
+
     obs = sub.add_parser(
         "obs", help="run an instrumented scenario, dump metrics/trace streams"
     )
@@ -103,7 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--out", default=None,
                      help="write the metrics dump here (default: stdout)")
     obs.add_argument("--trace-out", default=None,
-                     help="also write the trace-event stream to this path")
+                     help="also write the trace-event stream to this path "
+                          "(a *.trace.json name gets Perfetto/Chrome "
+                          "trace-event JSON instead)")
+    obs.add_argument("--flight-out", default=None,
+                     help="write the flight-record stream (JSONL/CSV) here")
     return parser
 
 
@@ -161,8 +179,11 @@ def table1_cell(params: dict) -> dict:
         cluster_stagger=8e-6, rank_stagger=2e-7,
         lightweight=True, retain_payloads=False,
     )
+    build_kwargs = {}
+    if params.get("obs") is not None:
+        build_kwargs["obs"] = params["obs"]
     world, controller = build_ft_world(nprocs, factory, config,
-                                       copy_payloads=False)
+                                       copy_payloads=False, **build_kwargs)
     sampler = SpeSampler(controller, interval=7e-5)
     sampler.arm()
     world.launch()
@@ -194,11 +215,39 @@ def table1_tasks(kernels, ranks, clusters, niters):
     ]
 
 
+def _obs_summary(registry) -> str:
+    """Deterministic one-line digest of a merged registry.
+
+    Counter totals and flight-record tallies only — no wall-clock numbers —
+    so the line is byte-identical for any worker count (the parallel
+    byte-identity test covers it).
+    """
+    from .obs import Counter
+
+    totals = {
+        inst.name: sum(inst.values.values())
+        for inst in registry.instruments()
+        if isinstance(inst, Counter)
+    }
+    keys = (
+        "protocol.messages_logged", "protocol.messages_confirmed",
+        "protocol.messages_replayed", "protocol.messages_suppressed",
+        "checkpoint.stored", "recovery.rollbacks",
+    )
+    parts = [f"{k.rsplit('.', 1)[1]}={totals.get(k, 0):.0f}" for k in keys]
+    parts.append(f"flight_records={registry.flight.total_records}")
+    parts.append(f"flight_dropped={registry.flight.total_dropped}")
+    return "obs: " + " ".join(parts)
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
     from .sweep import run_sweep
 
+    registry = MetricsRegistry()
     tasks = table1_tasks(args.kernels, args.ranks, args.clusters, args.niters)
-    results = run_sweep(table1_cell, tasks, workers=args.workers)
+    results = run_sweep(table1_cell, tasks, workers=args.workers,
+                        obs=registry, collect_obs=True)
     failed = [r for r in results if not r.ok]
     for r in failed:
         print(f"cell {r.name} failed: {r.error}", file=sys.stderr)
@@ -213,6 +262,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         for p in sorted(set(args.clusters))
     )
     print(f"theoretical %rl ((p+1)/2p): {theory}")
+    print(_obs_summary(registry))
     return 1 if failed else 0
 
 
@@ -234,7 +284,10 @@ def failure_scenario(params: dict) -> dict:
     ref, _ = _run(nprocs, factory, config)
     fail_rank = rng.randrange(nprocs)
     fail_time = rng.uniform(0.2, 0.8) * ref.engine.now
-    world, controller = build_ft_world(nprocs, factory, config)
+    build_kwargs = {}
+    if params.get("obs") is not None:
+        build_kwargs["obs"] = params["obs"]
+    world, controller = build_ft_world(nprocs, factory, config, **build_kwargs)
     controller.inject_failure(fail_time, fail_rank)
     controller.arm()
     world.launch()
@@ -257,6 +310,7 @@ def failure_scenario(params: dict) -> dict:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
     from .sweep import SweepTask, run_sweep, save_results
 
     if args.scenario == "table1":
@@ -281,8 +335,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[{done['n']:3d}/{len(tasks)}] {result.name}: {status} "
               f"({result.duration:.2f}s)", file=sys.stderr)
 
+    registry = MetricsRegistry()
     results = run_sweep(fn, tasks, workers=args.workers,
-                        base_seed=args.base_seed, on_progress=progress)
+                        base_seed=args.base_seed, on_progress=progress,
+                        obs=registry, collect_obs=True)
+    print(_obs_summary(registry), file=sys.stderr)
     ok = [r for r in results if r.ok]
     failed = [r for r in results if not r.ok]
     for r in failed:
@@ -343,11 +400,50 @@ def cmd_domino(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run an instrumented failure scenario, then explain — for every rank
+    in the recovery line — the chain of non-logged messages (with concrete
+    uids from the flight recorder) that forced its rollback."""
+    from .obs import MetricsRegistry, explain_report
+
+    nprocs = args.ranks
+    clusters = block_clusters(nprocs, args.clusters)
+    config = ProtocolConfig(checkpoint_interval=3e-5, cluster_of=clusters,
+                            cluster_stagger=5e-6, rank_stagger=1e-6)
+    factory = lambda r, s: Stencil2D(r, s, niters=40, block=3)
+
+    ref, _ = _run(nprocs, factory, config)
+    fail_rank = args.fail_rank if args.fail_rank is not None else nprocs - 1
+    registry = MetricsRegistry()
+    world, controller = build_ft_world(nprocs, factory, config, obs=registry)
+    controller.inject_failure(ref.engine.now / 2, fail_rank)
+    controller.arm()
+    world.launch()
+    world.run()
+    if not controller.recovery_reports:
+        print("no recovery round to explain", file=sys.stderr)
+        return 1
+    if not 0 <= args.round < len(controller.recovery_reports):
+        print(f"round {args.round} out of range "
+              f"(0..{len(controller.recovery_reports) - 1})", file=sys.stderr)
+        return 1
+    report = controller.recovery_reports[args.round]
+    explanation = explain_report(report, flight=registry.flight)
+    print(f"failure: rank {fail_rank} at t={ref.engine.now / 2 * 1e3:.3f} ms "
+          f"(round {report.round_no})")
+    print(explanation.format())
+    print(f"fix-point steps: {len(explanation.steps)}  "
+          f"flight records: {registry.flight.total_records} "
+          f"(dropped {registry.flight.total_dropped})")
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Instrumented run covering every layer: engine dispatch, per-channel
     traffic, logging decisions, and (unless --no-failure) a full recovery
     round — then dump the metrics snapshot and optional trace stream."""
-    from .obs import MetricsRegistry, dump_events, dump_metrics
+    from .obs import MetricsRegistry, dump_events, dump_flight, dump_metrics
+    from .obs.perfetto import dump_perfetto
 
     nprocs = args.ranks
     clusters = block_clusters(nprocs, args.clusters)
@@ -374,14 +470,25 @@ def cmd_obs(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(metrics_text)
     if args.trace_out:
-        with open(args.trace_out, "w") as fh:
-            fh.write(dump_events(registry, args.format))
-        print(f"trace events ({args.format}) -> {args.trace_out}")
+        if args.trace_out.endswith(".trace.json"):
+            n = dump_perfetto(registry, args.trace_out, nprocs=nprocs)
+            print(f"perfetto trace ({n} events) -> {args.trace_out} "
+                  f"(open in ui.perfetto.dev)")
+        else:
+            with open(args.trace_out, "w") as fh:
+                fh.write(dump_events(registry, args.format))
+            print(f"trace events ({args.format}) -> {args.trace_out}")
+    if args.flight_out:
+        with open(args.flight_out, "w") as fh:
+            fh.write(dump_flight(registry, args.format))
+        print(f"flight records ({args.format}) -> {args.flight_out}")
     summary = (
         f"# events={world.engine.events_dispatched} "
         f"messages={world.network.messages_sent} "
         f"logged={controller.logging_stats()['messages_logged']:.0f} "
-        f"recovery_rounds={len(controller.recovery_reports)}"
+        f"recovery_rounds={len(controller.recovery_reports)} "
+        f"events_dropped={registry.events_dropped} "
+        f"flight_dropped={registry.flight.total_dropped}"
     )
     print(summary, file=sys.stderr)
     return 0
@@ -394,6 +501,7 @@ _COMMANDS = {
     "fig6": cmd_fig6,
     "pattern": cmd_pattern,
     "domino": cmd_domino,
+    "explain": cmd_explain,
     "obs": cmd_obs,
 }
 

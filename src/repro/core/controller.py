@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import ProtocolError, SimulationError
+from ..obs.flight import FlightKind
 from ..obs.registry import NULL_OBS
 from ..simmpi.failure import FailureInjector
 from ..simmpi.message import Envelope
@@ -282,6 +283,13 @@ class FTController:
         if self.obs.enabled:
             self.obs.counter("recovery.failures").inc(len(ranks))
             self.obs.event("failure", ranks=sorted(ranks), round=self.round)
+            flight = self.obs.flight
+            if flight.enabled:
+                for r in sorted(ranks):
+                    flight.record(r, FlightKind.FAILURE,
+                                  epoch_send=self.protocols[r].state.epoch,
+                                  phase=self.protocols[r].state.phase,
+                                  extra=self.round)
         self._was_done = {r: world.procs[r].done for r in range(self.nprocs)}
         for r in ranks:
             if world.procs[r].done:
@@ -439,6 +447,10 @@ class FTController:
             self.obs.counter("recovery.restores", ("rank",)).inc(labels=(rank,))
             self.obs.event("restore", rank=rank, epoch=ckpt.epoch,
                            was_killed=was_killed)
+            if self.obs.flight.enabled:
+                self.obs.flight.record(rank, FlightKind.RESTORE,
+                                       epoch_send=ckpt.epoch,
+                                       extra=was_killed)
 
     def on_recovery_complete(self, report: RecoveryReport) -> None:
         """The recovery process notified every phase.  Notifications may

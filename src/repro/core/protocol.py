@@ -33,6 +33,7 @@ import enum
 from typing import Any, TYPE_CHECKING
 
 from ..errors import ProtocolError
+from ..obs.flight import FlightKind
 from ..simmpi.message import CONTROL_TAG_BASE, Envelope, retention_copy
 from ..simmpi.process import ProtocolHook
 from .state import LoggedMessage, PendingAck, ProtocolState
@@ -117,6 +118,10 @@ class SDProtocol(ProtocolHook):
         self.ack_flushes = 0
         obs = controller.obs
         self.obs = obs if obs.enabled else None
+        # flight recorder cached separately: disabled path is one identity
+        # comparison even when metrics are on but the recorder is not
+        self.flight = (obs.flight
+                       if obs.enabled and obs.flight.enabled else None)
 
     # ------------------------------------------------------------------
     # Control-plane plumbing
@@ -165,8 +170,13 @@ class SDProtocol(ProtocolHook):
                 date=date,
                 epoch_send=st.epoch,
                 phase_send=st.phase,
+                uid=env.uid,
             )
         )
+        if self.flight is not None:
+            self.flight.record(self.rank, FlightKind.SEND, peer=env.dst,
+                               uid=env.uid, epoch_send=st.epoch,
+                               phase=st.phase, extra=date)
 
     # ------------------------------------------------------------------
     # Receive path (Fig. 3 lines 19-32)
@@ -189,6 +199,11 @@ class SDProtocol(ProtocolHook):
             self.messages_suppressed += 1
             if self.obs is not None:
                 self.obs.counter("protocol.messages_suppressed").inc()
+            if self.flight is not None:
+                self.flight.record(self.rank, FlightKind.SUPPRESS,
+                                   peer=env.src, uid=env.uid,
+                                   epoch_send=meta["epoch"],
+                                   epoch_recv=st.epoch, extra=date)
             self._orphan_countdown(env.src, date)
             self._send_ack(env, duplicate=True)
             return False
@@ -196,12 +211,23 @@ class SDProtocol(ProtocolHook):
         # from an older epoch than ours was (or will be) logged by its
         # sender — the causality path is broken, bump past its phase.
         msg_phase = meta["phase"]
+        old_phase = st.phase
         if meta["epoch"] < st.epoch:
             st.phase = max(st.phase, msg_phase + 1)
         else:
             st.phase = max(st.phase, msg_phase)
         st.record_rpp(env.src, date)
         st.delivered_count += 1
+        if self.flight is not None:
+            self.flight.record(self.rank, FlightKind.DELIVER, peer=env.src,
+                               uid=env.uid, epoch_send=meta["epoch"],
+                               epoch_recv=st.epoch, phase=st.phase,
+                               extra=date)
+            if st.phase > old_phase:
+                # message-driven phase bump: the delivered uid is the cause
+                self.flight.record(self.rank, FlightKind.PHASE,
+                                   peer=env.src, epoch_send=st.epoch,
+                                   phase=st.phase, cause_uid=env.uid)
         self._send_ack(env, duplicate=False)
         return True
 
@@ -216,6 +242,11 @@ class SDProtocol(ProtocolHook):
             "epoch_recv": self.state.epoch,
             "dup": duplicate,
         }
+        if self.flight is not None:
+            self.flight.record(self.rank, FlightKind.ACK, peer=env.src,
+                               uid=env.uid, epoch_send=meta["epoch"],
+                               epoch_recv=self.state.epoch,
+                               extra=("dup" if duplicate else None))
         # Coalescing: fresh acks join the per-peer batch; duplicate acks
         # (recovery traffic) always travel eagerly so replay bookkeeping
         # resolves promptly.  With the default ack_batch=1 this method is
@@ -357,6 +388,7 @@ class SDProtocol(ProtocolHook):
                     epoch_send=entry.epoch_send,
                     phase_send=entry.phase_send,
                     epoch_recv=epoch_recv,
+                    uid=entry.uid,
                 )
             )
             self.messages_logged += 1
@@ -367,10 +399,23 @@ class SDProtocol(ProtocolHook):
                 self.obs.counter("protocol.log_bytes", ("epoch",)).inc(
                     entry.size, labels=labels
                 )
+            if self.flight is not None:
+                self.flight.record(self.rank, FlightKind.LOG, peer=entry.dst,
+                                   uid=entry.uid, epoch_send=entry.epoch_send,
+                                   epoch_recv=epoch_recv,
+                                   phase=entry.phase_send)
         else:
             st.record_spe(entry.dst, entry.epoch_send, epoch_recv)
             if self.obs is not None:
                 self.obs.counter("protocol.messages_confirmed").inc()
+            if self.flight is not None:
+                # the ack resolved without logging — this is a NON-LOGGED
+                # message, the raw material of the recovery explainer
+                self.flight.record(self.rank, FlightKind.CONFIRM,
+                                   peer=entry.dst, uid=entry.uid,
+                                   epoch_send=entry.epoch_send,
+                                   epoch_recv=epoch_recv,
+                                   phase=entry.phase_send)
 
     # ------------------------------------------------------------------
     # Checkpointing (Fig. 3 lines 41-45)
@@ -380,7 +425,15 @@ class SDProtocol(ProtocolHook):
 
     def on_checkpoint(self) -> float:
         self.schedule.mark_taken(self.world.engine.now)
+        if self.flight is not None:
+            self.flight.record(self.rank, FlightKind.CHECKPOINT,
+                               epoch_send=self.state.epoch,
+                               phase=self.state.phase)
         self.state.begin_epoch()
+        if self.flight is not None:
+            self.flight.record(self.rank, FlightKind.EPOCH,
+                               epoch_send=self.state.epoch,
+                               phase=self.state.phase)
         self.controller.store_checkpoint(self.rank)
         return self.controller.checkpoint_write_stall()
 
@@ -437,6 +490,11 @@ class SDProtocol(ProtocolHook):
         if self._spe_uploaded_round >= round_no:
             return  # one upload per recovery round (lines 54-56)
         self._spe_uploaded_round = round_no
+        if self.flight is not None:
+            self.flight.record(self.rank, FlightKind.SPE,
+                               peer=self.controller.recovery_rank,
+                               epoch_send=self.state.epoch,
+                               phase=self.state.phase, extra=round_no)
         self._ctl_to_recovery(
             CTL.SPE_UPLOAD,
             {
@@ -462,6 +520,9 @@ class SDProtocol(ProtocolHook):
             or (self.status is not Status.ROLLED_BACK and mine[0] == self.state.epoch)
         )
         if needs_restore:
+            if self.flight is not None:
+                self.flight.record(self.rank, FlightKind.ROLLBACK,
+                                   epoch_send=mine[0], extra=round_no)
             # Roll back to the prescribed epoch (controller swaps program,
             # protocol state and library queues from the checkpoint store).
             self.controller.restore_rank(self.rank, mine[0])
@@ -546,7 +607,7 @@ class SDProtocol(ProtocolHook):
         ]
         for _date, m in sorted(batch, key=lambda e: e[0]):
             self._replay(m.dst, m.tag, m.payload, m.size, m.date, m.epoch_send,
-                         m.phase_send, relog=True)
+                         m.phase_send, relog=True, orig_uid=m.uid)
         reported = self._reported_phase
         if reported is None:
             return
@@ -558,6 +619,10 @@ class SDProtocol(ProtocolHook):
 
     def set_running(self) -> None:
         self.status = Status.RUNNING
+        if self.flight is not None:
+            self.flight.record(self.rank, FlightKind.RUNNING,
+                               epoch_send=self.state.epoch,
+                               phase=self.state.phase)
         self.proc.unpause()
 
     def flush_replays(self) -> int:
@@ -583,11 +648,13 @@ class SDProtocol(ProtocolHook):
         # see _on_ready_phase.
         for _date, m in sorted(entries, key=lambda e: e[0]):
             self._replay(m.dst, m.tag, m.payload, m.size, m.date,
-                         m.epoch_send, m.phase_send, relog=True)
+                         m.epoch_send, m.phase_send, relog=True,
+                         orig_uid=m.uid)
         return len(entries)
 
     def _replay(self, dst: int, tag: int, payload: Any, size: int, date: int,
-                epoch_send: int, phase_send: int, relog: bool) -> None:
+                epoch_send: int, phase_send: int, relog: bool,
+                orig_uid: int = 0) -> None:
         """Emit a message from the log without re-executing application code.
 
         The original metadata is carried so the receiver's duplicate
@@ -604,11 +671,18 @@ class SDProtocol(ProtocolHook):
             self.state.non_ack.append(
                 PendingAck(dst=dst, tag=tag, payload=retention_copy(payload),
                            size=size, date=date, epoch_send=epoch_send,
-                           phase_send=phase_send)
+                           phase_send=phase_send, uid=orig_uid)
             )
         self.messages_replayed += 1
         if self.obs is not None:
             self.obs.counter("protocol.messages_replayed").inc()
+        if self.flight is not None:
+            # uid is the fresh emission; cause_uid links back to the
+            # original send this replay re-executes
+            self.flight.record(self.rank, FlightKind.REPLAY, peer=dst,
+                               uid=env.uid, epoch_send=epoch_send,
+                               phase=phase_send, cause_uid=orig_uid,
+                               extra=date)
         self.world.transmit_app(env)
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, TYPE_CHECKING
 
 from ..errors import ProtocolError
+from ..obs.flight import FlightKind
 from ..obs.registry import NULL_OBS
 from ..simmpi.message import Envelope
 from .protocol import CTL
@@ -60,7 +61,16 @@ class RecoveryLineSolver:
                         (k, epoch_send, epoch_recv)
                     )
 
-    def solve(self, failed_restarts: dict[int, int]) -> dict[int, tuple[int, int]]:
+    def solve(
+        self,
+        failed_restarts: dict[int, int],
+        on_step: Callable[[int, int, int, int, int], None] | None = None,
+    ) -> dict[int, tuple[int, int]]:
+        """Run the fix-point.  ``on_step``, when given, is invoked as
+        ``on_step(k, epoch_send, j, epoch_recv, bound)`` every time rank
+        ``k``'s restart epoch is lowered because receiver ``j`` (bounded at
+        ``bound``) re-executes a non-logged reception — the raw material of
+        :mod:`repro.obs.explain`.  The callback never alters the result."""
         rl: dict[int, int] = dict(failed_restarts)
         work = list(failed_restarts)
         while work:
@@ -75,6 +85,8 @@ class RecoveryLineSolver:
                 if cur is None or epoch_send < cur:
                     rl[k] = epoch_send
                     work.append(k)
+                    if on_step is not None:
+                        on_step(k, epoch_send, j, epoch_recv, bound)
         out: dict[int, tuple[int, int]] = {}
         for rank, epoch in rl.items():
             spe = self.spe_tables.get(rank, {})
@@ -90,6 +102,7 @@ class RecoveryLineSolver:
 def compute_recovery_line(
     spe_tables: dict[int, SPEExport],
     failed_restarts: dict[int, int],
+    on_step: Callable[[int, int, int, int, int], None] | None = None,
 ) -> dict[int, tuple[int, int]]:
     """Fix-point recovery-line computation (Fig. 4 lines 6-16).
 
@@ -106,7 +119,7 @@ def compute_recovery_line(
     ``rank -> (epoch, date)`` for every process that must roll back; ranks
     absent from the mapping keep running from their current state.
     """
-    return RecoveryLineSolver(spe_tables).solve(failed_restarts)
+    return RecoveryLineSolver(spe_tables).solve(failed_restarts, on_step=on_step)
 
 
 @dataclass
@@ -120,6 +133,10 @@ class RecoveryReport:
     phases_notified: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: inputs of the fix-point this round solved — kept so the recovery
+    #: explainer (repro.obs.explain) can replay it offline
+    failed_restarts: dict[int, int] = field(default_factory=dict)
+    spe_tables: dict[int, SPEExport] = field(default_factory=dict)
 
 
 class RecoveryProcess:
@@ -128,6 +145,8 @@ class RecoveryProcess:
     def __init__(self, controller: "FTController"):
         self.controller = controller
         self.obs = getattr(controller, "obs", NULL_OBS)
+        self.flight = (self.obs.flight
+                       if self.obs.enabled and self.obs.flight.enabled else None)
         self.nprocs = controller.nprocs
         self.active = False
         self.round = 0
@@ -202,11 +221,32 @@ class RecoveryProcess:
         if len(self._spe_tables) < self.nprocs:
             return
         failed_restarts = {r: e for r, (e, _d) in self._rollback_notices.items()}
-        self._rl = compute_recovery_line(self._spe_tables, failed_restarts)
+        flight = self.flight
+        on_step = None
+        if flight is not None:
+            coord = self.controller.recovery_rank
+
+            def on_step(k: int, es: int, j: int, er: int, bound: int) -> None:
+                # coordinator-lane record: sender k forced down to es
+                # because receiver j (bounded at `bound`) re-executes a
+                # non-logged reception from (es, er)
+                flight.record(coord, FlightKind.RL_STEP, peer=k,
+                              epoch_send=es, epoch_recv=er, extra=(j, bound))
+
+        self._rl = compute_recovery_line(self._spe_tables, failed_restarts,
+                                         on_step=on_step)
         self._rl_sent = True
         assert self.report is not None
         self.report.recovery_line = dict(self._rl)
         self.report.rolled_back = sorted(self._rl)
+        self.report.failed_restarts = dict(failed_restarts)
+        self.report.spe_tables = {
+            r: {e: (d, dict(pp)) for e, (d, pp) in spe.items()}
+            for r, spe in self._spe_tables.items()
+        }
+        if flight is not None:
+            flight.record(self.controller.recovery_rank, FlightKind.RL_FIXED,
+                          extra=sorted(self._rl))
         self.controller.broadcast_control(
             CTL.RECOVERY_LINE, {"rl": self._rl, "round": self.round}
         )

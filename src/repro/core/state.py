@@ -52,6 +52,9 @@ class PendingAck:
     date: int          # sender's send-sequence number
     epoch_send: int
     phase_send: int
+    #: envelope uid of the original emission (diagnostics only — replay
+    #: creates fresh envelopes, but flight records key causality on this)
+    uid: int = 0
 
 
 @dataclass
@@ -66,6 +69,7 @@ class LoggedMessage:
     epoch_send: int
     phase_send: int
     epoch_recv: int
+    uid: int = 0       # envelope uid of the original emission (diagnostics)
 
 
 @dataclass

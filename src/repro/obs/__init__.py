@@ -33,12 +33,31 @@ from .registry import (
 )
 from .export import (
     dump_events,
+    dump_flight,
     dump_metrics,
     event_rows,
+    flight_rows,
     metric_rows,
     to_csv,
     to_jsonl,
 )
+from .flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightKind,
+    FlightRecorder,
+    NULL_FLIGHT,
+    NullFlightRecorder,
+    RECORD_FIELDS,
+    record_to_dict,
+)
+from .explain import (
+    ForcingEdge,
+    RankExplanation,
+    RecoveryExplanation,
+    explain_recovery_line,
+    explain_report,
+)
+from .perfetto import dump_perfetto, perfetto_trace
 
 __all__ = [
     "Counter",
@@ -53,9 +72,25 @@ __all__ = [
     "DEPTH_BUCKETS",
     "SIZE_BUCKETS",
     "dump_events",
+    "dump_flight",
     "dump_metrics",
     "event_rows",
+    "flight_rows",
     "metric_rows",
     "to_csv",
     "to_jsonl",
+    "DEFAULT_FLIGHT_CAPACITY",
+    "FlightKind",
+    "FlightRecorder",
+    "NULL_FLIGHT",
+    "NullFlightRecorder",
+    "RECORD_FIELDS",
+    "record_to_dict",
+    "ForcingEdge",
+    "RankExplanation",
+    "RecoveryExplanation",
+    "explain_recovery_line",
+    "explain_report",
+    "dump_perfetto",
+    "perfetto_trace",
 ]

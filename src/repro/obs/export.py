@@ -21,6 +21,7 @@ import io
 import json
 from typing import Any, TYPE_CHECKING
 
+from .flight import record_to_dict
 from .registry import Counter, Gauge, Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,10 +30,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "metric_rows",
     "event_rows",
+    "flight_rows",
     "to_jsonl",
     "to_csv",
     "dump_metrics",
     "dump_events",
+    "dump_flight",
 ]
 
 
@@ -88,6 +91,11 @@ def event_rows(registry: "MetricsRegistry") -> list[dict[str, Any]]:
     return [{"time": r.time, "kind": r.kind, **r.fields} for r in registry.events]
 
 
+def flight_rows(registry: "MetricsRegistry") -> list[dict[str, Any]]:
+    """Flatten the flight-record stream into export rows (global time order)."""
+    return [record_to_dict(rec) for rec in registry.flight.records()]
+
+
 def to_jsonl(rows: list[dict[str, Any]]) -> str:
     """One compact JSON object per line."""
     return "".join(json.dumps(row, sort_keys=True, default=str) + "\n" for row in rows)
@@ -123,4 +131,10 @@ def dump_metrics(registry: "MetricsRegistry", fmt: str = "jsonl") -> str:
 def dump_events(registry: "MetricsRegistry", fmt: str = "jsonl") -> str:
     """Render the trace-event stream in ``fmt`` ("jsonl" or "csv")."""
     rows = event_rows(registry)
+    return to_csv(rows) if fmt == "csv" else to_jsonl(rows)
+
+
+def dump_flight(registry: "MetricsRegistry", fmt: str = "jsonl") -> str:
+    """Render the flight-record stream in ``fmt`` ("jsonl" or "csv")."""
+    rows = flight_rows(registry)
     return to_csv(rows) if fmt == "csv" else to_jsonl(rows)

@@ -1,0 +1,230 @@
+"""Protocol flight recorder: per-rank ring buffers of typed transitions.
+
+The metrics registry answers "how many" — the flight recorder answers
+"which and why".  Every protocol-relevant transition (application send,
+delivery, sender-log decision, acknowledgement, checkpoint, epoch/phase
+increment, failure, SPE collection, recovery-line fix-point step,
+rollback, replayed re-emission) lands as one fixed-shape record
+
+    ``(time, kind, rank, peer, uid, epoch_send, epoch_recv, phase,
+       cause_uid, extra)``
+
+in a bounded per-rank ring buffer (oldest records are dropped first, with
+per-rank drop accounting).  The record stream is what the recovery
+explainer (:mod:`repro.obs.explain`) and the Perfetto exporter
+(:mod:`repro.obs.perfetto`) consume, and it crosses process boundaries
+through :meth:`FlightRecorder.snapshot` / :meth:`FlightRecorder.merge`
+(used by the sweep executor to ship worker buffers to the parent).
+
+Zero-cost-when-disabled contract: components cache
+``obs.flight if obs.enabled and obs.flight.enabled else None`` at
+construction, so the disabled path is one identity comparison.  Records
+are plain tuples and :meth:`FlightRecorder.record` does one clock call,
+one bounds check and one append — cheap enough that enabling the recorder
+at default capacity stays under a few percent of the instrumented run
+(``benchmarks/test_simulator_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "FlightKind",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "RECORD_FIELDS",
+    "record_to_dict",
+    "DEFAULT_FLIGHT_CAPACITY",
+]
+
+#: per-rank ring-buffer capacity when none is given
+DEFAULT_FLIGHT_CAPACITY = 16_384
+
+#: positional layout of one flight record tuple
+RECORD_FIELDS = (
+    "time", "kind", "rank", "peer", "uid",
+    "epoch_send", "epoch_recv", "phase", "cause_uid", "extra",
+)
+
+
+class FlightKind:
+    """Record kinds — one per protocol-relevant transition.
+
+    String constants (not an Enum): the hot path writes millions of these
+    and an interned string compares/serialises faster than Enum members.
+    """
+
+    SEND = "send"              # application send (incl. re-executed sends)
+    DELIVER = "deliver"        # fresh delivery to the application
+    SUPPRESS = "suppress"      # duplicate re-emission suppressed
+    ACK = "ack"                # acknowledgement emitted by the receiver
+    LOG = "log"                # epoch-crossing rule copied a message to the log
+    CONFIRM = "confirm"        # ack resolved without logging (SPE path)
+    CHECKPOINT = "checkpoint"  # checkpoint stored
+    EPOCH = "epoch"            # epoch increment (begin_epoch)
+    PHASE = "phase"            # phase increment (message-driven bump)
+    FAILURE = "failure"        # fail-stop kill of this rank
+    SPE = "spe"                # SPE table uploaded to the recovery process
+    RL_STEP = "rl_step"        # one recovery-line fix-point propagation step
+    RL_FIXED = "rl_fixed"      # fix-point reached; recovery line broadcast
+    ROLLBACK = "rollback"      # this rank rolled back (restore prescribed)
+    RESTORE = "restore"        # checkpoint re-installed on this rank
+    REPLAY = "replay"          # message re-emitted from the log/NonAck set
+    RUNNING = "running"        # Blocked/RolledBack -> Running transition
+
+
+class FlightRecorder:
+    """Per-rank bounded record streams with drop accounting."""
+
+    enabled = True
+
+    __slots__ = ("capacity", "_buffers", "dropped", "_clock")
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                 clock: Callable[[], float] | None = None):
+        self.capacity = capacity
+        self._buffers: dict[int, deque[tuple]] = {}
+        self.dropped: dict[int, int] = {}
+        self._clock = clock
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Recording (hot path)
+    # ------------------------------------------------------------------
+    def record(self, rank: int, kind: str, peer: int = -1, uid: int = 0,
+               epoch_send: int = 0, epoch_recv: int = 0, phase: int = 0,
+               cause_uid: int = 0, extra: Any = None) -> None:
+        buf = self._buffers.get(rank)
+        if buf is None:
+            buf = self._buffers[rank] = deque(maxlen=self.capacity)
+            self.dropped[rank] = 0
+        elif len(buf) == self.capacity:
+            self.dropped[rank] += 1
+        clock = self._clock
+        buf.append((
+            clock() if clock is not None else 0.0,
+            kind, rank, peer, uid, epoch_send, epoch_recv, phase,
+            cause_uid, extra,
+        ))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def records(self, rank: int | None = None,
+                kind: str | None = None) -> Iterator[tuple]:
+        """Records of one rank (buffer order == time order) or all ranks
+        merged into global time order, optionally filtered by kind."""
+        if rank is not None:
+            source: Any = self._buffers.get(rank, ())
+        else:
+            merged: list[tuple] = []
+            for r in sorted(self._buffers):
+                merged.extend(self._buffers[r])
+            merged.sort(key=lambda rec: rec[0])
+            source = merged
+        for rec in source:
+            if kind is None or rec[1] == kind:
+                yield rec
+
+    def ranks(self) -> list[int]:
+        return sorted(self._buffers)
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(b) for b in self._buffers.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    # ------------------------------------------------------------------
+    # Serialization: snapshot / merge / clear
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data copy (picklable, JSON-able via :func:`record_to_dict`)."""
+        return {
+            "capacity": self.capacity,
+            "dropped": dict(self.dropped),
+            "records": {r: list(b) for r, b in self._buffers.items()},
+        }
+
+    def merge(self, snap: dict[str, Any]) -> None:
+        """Fold another recorder's snapshot in, keeping drop accounting.
+
+        Per-rank streams are concatenated (records keep their original
+        timestamps); ring-buffer bounds still apply, so merging more than
+        ``capacity`` records into one rank's buffer drops the oldest and
+        counts them.
+        """
+        if not snap:
+            return
+        for rank_key, dropped in snap.get("dropped", {}).items():
+            rank = int(rank_key)
+            self.dropped[rank] = self.dropped.get(rank, 0) + dropped
+            self._buffers.setdefault(rank, deque(maxlen=self.capacity))
+        for rank_key, records in snap.get("records", {}).items():
+            rank = int(rank_key)
+            buf = self._buffers.get(rank)
+            if buf is None:
+                buf = self._buffers[rank] = deque(maxlen=self.capacity)
+                self.dropped.setdefault(rank, 0)
+            for rec in records:
+                if len(buf) == self.capacity:
+                    self.dropped[rank] += 1
+                buf.append(tuple(rec))
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self.dropped.clear()
+
+
+def record_to_dict(rec: tuple) -> dict[str, Any]:
+    """Expand one record tuple into a field-named mapping (export path)."""
+    d = dict(zip(RECORD_FIELDS, rec))
+    if d.get("extra") is None:
+        del d["extra"]
+    return d
+
+
+class NullFlightRecorder:
+    """Disabled recorder: same surface, every operation inert.
+
+    Stateless by construction — ``record`` discards, readers return fresh
+    empty values — so the shared :data:`NULL_FLIGHT` instance can never
+    leak state between two worlds (unlike a shared mutable buffer).
+    """
+
+    enabled = False
+    capacity = 0
+
+    __slots__ = ()
+
+    def bind_clock(self, clock: Callable[[], float]) -> None: ...
+    def record(self, *a: Any, **k: Any) -> None: ...
+    def records(self, rank: int | None = None,
+                kind: str | None = None) -> Iterator[tuple]:
+        return iter(())
+    def ranks(self) -> list[int]:
+        return []
+    @property
+    def total_records(self) -> int:
+        return 0
+    @property
+    def total_dropped(self) -> int:
+        return 0
+    @property
+    def dropped(self) -> dict[int, int]:
+        return {}
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+    def merge(self, snap: dict[str, Any]) -> None: ...
+    def clear(self) -> None: ...
+
+
+#: process-wide disabled recorder (safe to share — it holds no state)
+NULL_FLIGHT = NullFlightRecorder()

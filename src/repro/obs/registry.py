@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from ..errors import SimulationError
+from .flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, NULL_FLIGHT
 
 __all__ = [
     "Counter",
@@ -177,17 +178,25 @@ class Span:
 
 
 class MetricsRegistry:
-    """Names → instruments, plus the bounded trace-event stream."""
+    """Names → instruments, the bounded trace-event stream, and the
+    protocol flight recorder (``flight_capacity=0`` disables the latter —
+    instrumented components then cache ``None`` for it, same contract as
+    a disabled registry)."""
 
     enabled = True
 
     def __init__(self, clock: Callable[[], float] | None = None,
-                 trace_capacity: int = 100_000):
+                 trace_capacity: int = 100_000,
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY):
         self._clock = clock
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
         self.events: deque[TraceRecord] = deque(maxlen=trace_capacity)
         self.events_dropped = 0
         self._trace_capacity = trace_capacity
+        self.flight = (
+            FlightRecorder(flight_capacity, clock)
+            if flight_capacity > 0 else NULL_FLIGHT
+        )
 
     # ------------------------------------------------------------------
     # Clock
@@ -195,6 +204,7 @@ class MetricsRegistry:
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the virtual-clock source (typically ``lambda: engine.now``)."""
         self._clock = clock
+        self.flight.bind_clock(clock)
 
     def now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
@@ -225,7 +235,12 @@ class MetricsRegistry:
         return self._get(name, Gauge, lambda: Gauge(name))
 
     def histogram(self, name: str, bounds: tuple[float, ...] = DURATION_BUCKETS) -> Histogram:
-        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+        h = self._get(name, Histogram, lambda: Histogram(name, bounds))
+        if h.bounds != tuple(float(b) for b in bounds):
+            raise SimulationError(
+                f"histogram {name!r} bounds mismatch: {h.bounds} vs {bounds}"
+            )
+        return h
 
     def span(self, name: str, **fields: Any) -> Span:
         return Span(self, name, fields)
@@ -249,6 +264,87 @@ class MetricsRegistry:
         inst = self._instruments.get(name)
         return inst.total if isinstance(inst, Counter) else 0.0
 
+    # ------------------------------------------------------------------
+    # Cross-process snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data copy of every instrument, the trace stream and the
+        flight buffers — picklable, so sweep workers can ship it to the
+        parent process for :meth:`merge`."""
+        instruments: dict[str, dict[str, Any]] = {}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, Counter):
+                instruments[name] = {
+                    "type": "counter",
+                    "label_names": inst.label_names,
+                    "values": list(inst.values.items()),
+                }
+            elif isinstance(inst, Gauge):
+                instruments[name] = {
+                    "type": "gauge",
+                    "value": inst.value,
+                    "high_water": inst.high_water,
+                }
+            elif isinstance(inst, Histogram):
+                instruments[name] = {
+                    "type": "histogram",
+                    "bounds": inst.bounds,
+                    "counts": list(inst.counts),
+                    "sum": inst.sum,
+                    "count": inst.count,
+                    "min": inst.min,
+                    "max": inst.max,
+                }
+        return {
+            "instruments": instruments,
+            "events": [(r.time, r.kind, dict(r.fields)) for r in self.events],
+            "events_dropped": self.events_dropped,
+            "flight": self.flight.snapshot() if self.flight.enabled else None,
+        }
+
+    def merge(self, snap: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms add; gauges sum their values and keep the
+        maximum high-water mark (after merging, ``value`` is an aggregate,
+        no longer an instantaneous reading).  Trace events keep their
+        original timestamps and respect this registry's capacity; flight
+        buffers concatenate per rank with drop accounting.  Merging is
+        associative and, per instrument, commutative — a parent merging N
+        worker snapshots in task order gets the same totals as one
+        sequential run.
+        """
+        if not snap:
+            return
+        for name, data in snap.get("instruments", {}).items():
+            kind = data["type"]
+            if kind == "counter":
+                c = self.counter(name, tuple(data["label_names"]))
+                for labels, value in data["values"]:
+                    c.inc(value, tuple(labels))
+            elif kind == "gauge":
+                g = self.gauge(name)
+                g.value += data["value"]
+                g.high_water = max(g.high_water, data["high_water"])
+            elif kind == "histogram":
+                h = self.histogram(name, tuple(data["bounds"]))
+                for i, n in enumerate(data["counts"]):
+                    h.counts[i] += n
+                h.sum += data["sum"]
+                h.count += data["count"]
+                h.min = min(h.min, data["min"])
+                h.max = max(h.max, data["max"])
+            else:
+                raise SimulationError(f"cannot merge instrument type {kind!r}")
+        for time, kind, fields in snap.get("events", ()):
+            if len(self.events) == self._trace_capacity:
+                self.events_dropped += 1
+            self.events.append(TraceRecord(time, kind, fields))
+        self.events_dropped += snap.get("events_dropped", 0)
+        flight_snap = snap.get("flight")
+        if flight_snap and self.flight.enabled:
+            self.flight.merge(flight_snap)
+
 
 class _NullInstrument:
     """Absorbs every instrument method as a no-op."""
@@ -268,11 +364,17 @@ _NULL_INSTRUMENT = _NullInstrument()
 
 
 class NullRegistry:
-    """Disabled registry: same interface, every operation a no-op."""
+    """Disabled registry: same interface, every operation a no-op.
+
+    ``events`` is an immutable empty sentinel (not a shared mutable deque):
+    nothing can be appended through any code path, so two NullRegistries
+    can never observe each other's state.
+    """
 
     enabled = False
-    events: deque = deque()
+    events: tuple = ()
     events_dropped = 0
+    flight = NULL_FLIGHT
 
     def bind_clock(self, clock: Callable[[], float]) -> None: ...
     def now(self) -> float:
@@ -290,6 +392,9 @@ class NullRegistry:
         return iter(())
     def get_counter_total(self, name: str) -> float:
         return 0.0
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+    def merge(self, snap: dict[str, Any]) -> None: ...
 
 
 #: process-wide disabled registry, shared by every uninstrumented component

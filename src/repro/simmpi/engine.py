@@ -100,6 +100,16 @@ class Engine:
         self.obs = obs if (obs is not None and obs.enabled) else None
         if self.obs is not None:
             self.obs.bind_clock(lambda: self.now)
+            # cache the instrument handles once: _record_dispatch runs per
+            # event, and the registry's name->instrument lookups dominate
+            # its cost at full rate
+            self._disp_counter = self.obs.counter(
+                "engine.events_dispatched", ("callback",)
+            )
+            self._depth_hist = self.obs.histogram(
+                "engine.queue_depth", DEPTH_BUCKETS
+            )
+            self._depth_gauge = self.obs.gauge("engine.queue_depth.current")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -211,11 +221,10 @@ class Engine:
         cb = entry[_CALLBACK]
         func = getattr(cb, "__func__", cb)
         label = getattr(func, "__qualname__", None) or type(cb).__name__
-        obs = self.obs
-        obs.counter("engine.events_dispatched", ("callback",)).inc(labels=(label,))
+        self._disp_counter.inc(labels=(label,))
         depth = len(self._queue)
-        obs.histogram("engine.queue_depth", DEPTH_BUCKETS).observe(depth)
-        obs.gauge("engine.queue_depth.current").set(depth)
+        self._depth_hist.observe(depth)
+        self._depth_gauge.set(depth)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.

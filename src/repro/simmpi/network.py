@@ -106,6 +106,23 @@ class Network:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.obs = obs if (obs is not None and obs.enabled) else None
+        if self.obs is not None:
+            # per-transmit/deliver instrument handles, resolved once (the
+            # registry lookup is the dominant cost at full message rate)
+            obs = self.obs
+            self._msg_counter = obs.counter(
+                "network.channel.messages", ("src", "dst")
+            )
+            self._bytes_counter = obs.counter(
+                "network.channel.bytes", ("src", "dst")
+            )
+            self._size_hist = obs.histogram("network.message_size", SIZE_BUCKETS)
+            self._in_flight_gauge = obs.gauge("network.in_flight")
+            self._depth_hist = obs.histogram(
+                "network.in_flight_depth", DEPTH_BUCKETS
+            )
+            self._delivered_counter = obs.counter("network.messages_delivered")
+            self._transit_hist = obs.histogram("network.transit_time_s")
 
     # ------------------------------------------------------------------
     def attach(self, rank: int, receiver: Callable[[Envelope], None]) -> None:
@@ -153,14 +170,13 @@ class Network:
         return cpu
 
     def _record_transmit(self, env: Envelope) -> None:
-        obs = self.obs
         labels = (env.src, env.dst)
-        obs.counter("network.channel.messages", ("src", "dst")).inc(labels=labels)
-        obs.counter("network.channel.bytes", ("src", "dst")).inc(env.size, labels=labels)
-        obs.histogram("network.message_size", SIZE_BUCKETS).observe(env.size)
-        gauge = obs.gauge("network.in_flight")
+        self._msg_counter.inc(labels=labels)
+        self._bytes_counter.inc(env.size, labels=labels)
+        self._size_hist.observe(env.size)
+        gauge = self._in_flight_gauge
         gauge.inc()
-        obs.histogram("network.in_flight_depth", DEPTH_BUCKETS).observe(gauge.value)
+        self._depth_hist.observe(gauge.value)
 
     def _deliver(self, env: Envelope) -> None:
         pending = self._in_flight.get(env.dst)
@@ -168,11 +184,9 @@ class Network:
             pending.pop(env.uid, None)
         self.messages_delivered += 1
         if self.obs is not None:
-            self.obs.counter("network.messages_delivered").inc()
-            self.obs.gauge("network.in_flight").dec()
-            self.obs.histogram("network.transit_time_s").observe(
-                self.engine.now - env.send_time
-            )
+            self._delivered_counter.inc()
+            self._in_flight_gauge.dec()
+            self._transit_hist.observe(self.engine.now - env.send_time)
         self._receivers[env.dst](env)
 
     # ------------------------------------------------------------------

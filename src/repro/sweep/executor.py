@@ -79,6 +79,10 @@ class SweepResult:
     duration: float = 0.0
     seed: int = 0
     params: dict[str, Any] = field(default_factory=dict)
+    #: observability snapshot of the task's private registry (plain data,
+    #: crosses the process boundary; merged by run_sweep, not serialised
+    #: into to_json)
+    obs: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -117,29 +121,48 @@ def _jsonable(value: Any) -> Any:
 
 
 def _execute(fn: Callable[[dict[str, Any]], Any], task: SweepTask,
-             index: int, seed: int) -> SweepResult:
-    """Run one task with crash isolation (used in-process and in workers)."""
+             index: int, seed: int, collect_obs: bool = False) -> SweepResult:
+    """Run one task with crash isolation (used in-process and in workers).
+
+    With ``collect_obs`` the task gets a private ``MetricsRegistry`` under
+    ``params["obs"]`` and its plain-data snapshot rides back on the result —
+    the same path inline and across the pool, so merged observability is
+    shape-identical regardless of worker count.
+    """
     params = dict(task.params)
     params["seed"] = seed
+    registry = None
+    if collect_obs:
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        params["obs"] = registry
+    snap = None
     t0 = time.perf_counter()
     try:
         value = fn(params)
     except Exception as exc:  # noqa: BLE001 — isolation is the point
+        if registry is not None:
+            snap = registry.snapshot()
         return SweepResult(
             index=index, name=task.name, status="error",
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
             duration=time.perf_counter() - t0, seed=seed, params=task.params,
+            obs=snap,
         )
+    if registry is not None:
+        snap = registry.snapshot()
     return SweepResult(
         index=index, name=task.name, status="ok", value=value,
         duration=time.perf_counter() - t0, seed=seed, params=task.params,
+        obs=snap,
     )
 
 
 def _worker(payload: tuple) -> SweepResult:
-    fn, task, index, seed = payload
-    return _execute(fn, task, index, seed)
+    fn, task, index, seed, collect_obs = payload
+    return _execute(fn, task, index, seed, collect_obs)
 
 
 def run_sweep(
@@ -149,6 +172,7 @@ def run_sweep(
     base_seed: int = 0,
     obs: Any = None,
     on_progress: Callable[[SweepResult], None] | None = None,
+    collect_obs: bool = False,
 ) -> list[SweepResult]:
     """Run every task through ``fn``; returns results in task order.
 
@@ -169,6 +193,11 @@ def run_sweep(
         Callback invoked in the parent with each completed result
         (completion order, which under parallel execution is not task
         order).
+    collect_obs:
+        Give every task a private registry via ``params["obs"]`` and ship
+        its snapshot back on the result.  When ``obs`` is also given, the
+        snapshots are merged into it **in task order** after the sweep, so
+        the merged registry is identical for any worker count.
     """
     tasks = list(tasks)
     seeds = [task_seed(base_seed, i, t.name) for i, t in enumerate(tasks)]
@@ -186,16 +215,26 @@ def run_sweep(
         if on_progress is not None:
             on_progress(result)
 
+    def _merge_worker_obs(results: list[SweepResult]) -> None:
+        # task order, not completion order: merge order is part of the
+        # determinism contract (histogram/event streams concatenate)
+        if obs is None or not collect_obs:
+            return
+        for result in results:
+            if result.obs:
+                obs.merge(result.obs)
+
     if workers <= 1 or len(tasks) <= 1:
         results = []
         for i, task in enumerate(tasks):
-            result = _execute(fn, task, i, seeds[i])
+            result = _execute(fn, task, i, seeds[i], collect_obs)
             _note(result)
             results.append(result)
+        _merge_worker_obs(results)
         return results
 
     nworkers = min(workers, len(tasks))
-    payloads = [(fn, t, i, seeds[i]) for i, t in enumerate(tasks)]
+    payloads = [(fn, t, i, seeds[i], collect_obs) for i, t in enumerate(tasks)]
     results_by_index: list[SweepResult | None] = [None] * len(tasks)
     ctx = multiprocessing.get_context()
     with ctx.Pool(processes=nworkers) as pool:
@@ -207,6 +246,7 @@ def run_sweep(
     missing = [i for i, r in enumerate(results_by_index) if r is None]
     if missing:  # a worker died without returning (hard crash)
         raise RuntimeError(f"sweep lost results for task indices {missing}")
+    _merge_worker_obs(results_by_index)  # type: ignore[arg-type]
     return results_by_index  # type: ignore[return-value]
 
 

@@ -63,3 +63,85 @@ def test_rows_fixed_width():
     art = render_timeline(world.tracer, duration, width=50)
     rows = [l for l in art.splitlines() if l.startswith("rank")]
     assert len({len(r) for r in rows}) == 1
+
+
+# ----------------------------------------------------------------------
+# Overlapping recovery intervals and multiple failures (synthetic marks
+# drive recovery_spans; a two-failure run drives render_timeline)
+# ----------------------------------------------------------------------
+class _FakeTracer:
+    def __init__(self, nprocs, events):
+        self.record_events = True
+        self.nprocs = nprocs
+        self.events = events
+
+
+class _Ev:
+    def __init__(self, time, rank, kind):
+        self.time, self.rank, self.kind = time, rank, kind
+
+
+def test_recovery_spans_back_to_back_restores():
+    # two restores with no mark in between: the first span must close at
+    # the second restore, not swallow it (overlapping intervals)
+    tl = Timeline(1, 10.0, {0: [(2.0, "r"), (5.0, "r")]})
+    assert tl.recovery_spans(0) == [(2.0, 5.0), (5.0, 10.0)]
+
+
+def test_recovery_spans_close_at_next_mark_or_duration():
+    tl = Timeline(1, 10.0, {0: [(1.0, "X"), (2.0, "r"), (4.0, "c"),
+                                (6.0, "X"), (7.0, "r")]})
+    assert tl.recovery_spans(0) == [(2.0, 4.0), (7.0, 10.0)]
+
+
+def test_recovery_spans_ignore_unsorted_mark_insertion():
+    tl = Timeline(1, 8.0, {0: [(5.0, "r"), (1.0, "X"), (2.0, "r"), (6.0, "c")]})
+    # sorted internally: spans are (2,5) and (5,6)
+    assert tl.recovery_spans(0) == [(2.0, 5.0), (5.0, 6.0)]
+
+
+def test_render_two_failures_two_recovery_stretches():
+    events = [
+        _Ev(1.0, 0, "checkpoint"), _Ev(1.2, 1, "checkpoint"),
+        _Ev(3.0, 1, "failure"), _Ev(3.4, 1, "restore"),
+        _Ev(5.0, 1, "checkpoint"),
+        _Ev(7.0, 1, "failure"), _Ev(7.5, 1, "restore"),
+        _Ev(9.0, 1, "checkpoint"),
+    ]
+    art = render_timeline(_FakeTracer(2, events), 10.0, width=60)
+    rows = row_bodies(art)
+    assert rows[1].count("X") == 2 and rows[1].count("r") == 2
+    # re-execution shading appears after each restore, and execution
+    # resumes ('-') between the two recovery stretches
+    first_r = rows[1].index("r")
+    second_x = rows[1].rindex("X")
+    assert "=" in rows[1][first_r:second_x]
+    assert "-" in rows[1][first_r:second_x]
+    assert "=" in rows[1][second_x:]
+    # rank 0 saw no failure: clean lifeline
+    assert "X" not in rows[0] and "=" not in rows[0]
+
+
+def test_two_real_failures_render_and_span_consistency():
+    world, ctl = build_ft_world(
+        4, lambda r, s: Stencil1D(r, s, niters=40, cells=4),
+        ProtocolConfig(checkpoint_interval=2e-5, rank_stagger=2e-6),
+        record_events=True,
+    )
+    ctl.inject_failure(5e-5, 2)
+    ctl.inject_failure(9e-5, 1)
+    ctl.arm()
+    world.launch()
+    duration = world.run()
+    assert len(ctl.recovery_reports) == 2
+    art = render_timeline(world.tracer, duration)
+    body = "".join(row_bodies(art))
+    assert body.count("X") >= 2
+    tl = Timeline.from_tracer(world.tracer, duration)
+    for rank in range(4):
+        spans = tl.recovery_spans(rank)
+        # spans are ordered and lie within the run
+        assert all(0 <= s <= e <= duration for s, e in spans)
+        assert spans == sorted(spans)
+    # both killed ranks re-executed at least once
+    assert tl.recovery_spans(2) and tl.recovery_spans(1)

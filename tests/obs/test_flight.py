@@ -1,0 +1,188 @@
+"""Flight recorder: ring-buffer semantics, snapshot/merge, protocol wiring,
+and the zero-perturbation guarantee when disabled."""
+
+import numpy as np
+
+from repro.apps.stencil import Stencil2D
+from repro.core import ProtocolConfig, build_ft_world
+from repro.obs import (
+    FlightKind,
+    FlightRecorder,
+    MetricsRegistry,
+    NULL_FLIGHT,
+    NullFlightRecorder,
+    RECORD_FIELDS,
+    record_to_dict,
+)
+
+
+def factory(rank, size):
+    return Stencil2D(rank, size, niters=25, block=3)
+
+
+def config():
+    return ProtocolConfig(checkpoint_interval=2e-5, rank_stagger=3e-6)
+
+
+def run_instrumented(with_failure=True, **registry_kwargs):
+    obs = MetricsRegistry(**registry_kwargs)
+    world, controller = build_ft_world(6, factory, config(), obs=obs)
+    if with_failure:
+        controller.inject_failure(4e-5, 3)
+        controller.arm()
+    world.launch()
+    world.run()
+    return world, controller, obs
+
+
+# ----------------------------------------------------------------------
+# Unit: ring buffer + drop accounting
+# ----------------------------------------------------------------------
+def test_ring_buffer_drops_oldest_and_counts():
+    fr = FlightRecorder(capacity=4)
+    for i in range(10):
+        fr.record(0, FlightKind.SEND, uid=i)
+    recs = list(fr.records(rank=0))
+    assert len(recs) == 4
+    assert [r[4] for r in recs] == [6, 7, 8, 9]  # oldest dropped first
+    assert fr.dropped[0] == 6
+    assert fr.total_records == 4
+    assert fr.total_dropped == 6
+
+
+def test_records_filter_by_rank_and_kind_in_time_order():
+    fr = FlightRecorder(capacity=16)
+    times = iter([3.0, 1.0, 2.0])
+    fr.bind_clock(lambda: next(times))
+    fr.record(1, FlightKind.SEND, uid=10)
+    fr.record(0, FlightKind.DELIVER, uid=10)
+    fr.record(0, FlightKind.SEND, uid=11)
+    assert [r[4] for r in fr.records(kind=FlightKind.SEND)] == [11, 10]
+    assert [r[0] for r in fr.records()] == [1.0, 2.0, 3.0]  # global merge
+    assert fr.ranks() == [0, 1]
+
+
+def test_record_to_dict_layout():
+    fr = FlightRecorder(capacity=4)
+    fr.record(2, FlightKind.LOG, peer=5, uid=7, epoch_send=3, epoch_recv=4,
+              phase=2, cause_uid=1, extra="x")
+    d = record_to_dict(next(fr.records(rank=2)))
+    assert set(d) == set(RECORD_FIELDS)
+    assert (d["rank"], d["peer"], d["uid"]) == (2, 5, 7)
+    assert (d["epoch_send"], d["epoch_recv"]) == (3, 4)
+    # None extra is elided
+    fr.record(2, FlightKind.ACK)
+    d2 = record_to_dict(list(fr.records(rank=2))[-1])
+    assert "extra" not in d2
+
+
+# ----------------------------------------------------------------------
+# Unit: snapshot / merge
+# ----------------------------------------------------------------------
+def test_snapshot_merge_roundtrip():
+    a = FlightRecorder(capacity=8)
+    a.record(0, FlightKind.SEND, uid=1)
+    a.record(1, FlightKind.DELIVER, uid=1)
+    b = FlightRecorder(capacity=8)
+    b.merge(a.snapshot())
+    assert list(b.records()) == list(a.records())
+    assert b.dropped == a.dropped
+
+
+def test_merge_accepts_string_rank_keys_and_counts_overflow():
+    a = FlightRecorder(capacity=2)
+    snap = {
+        "capacity": 2,
+        "dropped": {"0": 3},
+        "records": {"0": [(0.0, "send", 0, 1, i, 0, 0, 0, 0, None)
+                          for i in range(4)]},
+    }
+    a.merge(snap)
+    assert a.dropped[0] == 3 + 2  # carried drops + 2 overflowed on merge
+    assert [r[4] for r in a.records(rank=0)] == [2, 3]
+    a.merge({})  # empty snapshot is a no-op
+    assert a.total_records == 2
+
+
+def test_null_flight_is_stateless():
+    n1 = NullFlightRecorder()
+    n1.record(0, FlightKind.SEND, uid=1)
+    assert list(n1.records()) == []
+    assert n1.total_records == 0 and n1.total_dropped == 0
+    assert n1.snapshot() == {}
+    assert not NULL_FLIGHT.enabled
+    NULL_FLIGHT.record(5, FlightKind.FAILURE)
+    assert NULL_FLIGHT.dropped == {}
+
+
+# ----------------------------------------------------------------------
+# Integration: protocol wiring
+# ----------------------------------------------------------------------
+def test_failure_run_records_every_lifecycle_kind():
+    _world, controller, obs = run_instrumented()
+    kinds = {rec[1] for rec in obs.flight.records()}
+    expected = {
+        FlightKind.SEND, FlightKind.DELIVER, FlightKind.ACK,
+        FlightKind.CONFIRM, FlightKind.LOG, FlightKind.CHECKPOINT,
+        FlightKind.EPOCH, FlightKind.FAILURE, FlightKind.SPE,
+        FlightKind.RL_STEP, FlightKind.RL_FIXED, FlightKind.ROLLBACK,
+        FlightKind.RESTORE, FlightKind.REPLAY, FlightKind.RUNNING,
+        FlightKind.SUPPRESS,
+    }
+    assert expected <= kinds, f"missing kinds: {expected - kinds}"
+    # rl records live on the coordinator pseudo-rank's lane
+    coord = controller.recovery_rank
+    assert any(rec[2] == coord for rec in obs.flight.records(kind=FlightKind.RL_FIXED))
+
+
+def test_send_and_deliver_share_uid():
+    _world, _controller, obs = run_instrumented(with_failure=False)
+    sent = {rec[4] for rec in obs.flight.records(kind=FlightKind.SEND)}
+    delivered = {rec[4] for rec in obs.flight.records(kind=FlightKind.DELIVER)}
+    assert delivered  # something was delivered
+    assert delivered <= sent  # every delivery traces back to a recorded send
+
+
+def test_registry_snapshot_carries_flight_and_merge_restores_it():
+    _world, _controller, obs = run_instrumented()
+    snap = obs.snapshot()
+    assert snap["flight"]["records"]
+    other = MetricsRegistry()
+    other.merge(snap)
+    assert other.flight.total_records == obs.flight.total_records
+    assert other.flight.dropped == obs.flight.dropped
+
+
+def test_flight_capacity_zero_is_null_and_bit_identical():
+    # flight disabled: same simulation results as a fully uninstrumented run
+    obs = MetricsRegistry(flight_capacity=0)
+    assert obs.flight is NULL_FLIGHT
+    world, controller = build_ft_world(6, factory, config(), obs=obs)
+    controller.inject_failure(4e-5, 3)
+    controller.arm()
+    world.launch()
+    world.run()
+    ref_world, ref_controller = build_ft_world(6, factory, config())
+    ref_controller.inject_failure(4e-5, 3)
+    ref_controller.arm()
+    ref_world.launch()
+    ref_world.run()
+    for r in range(6):
+        assert np.allclose(world.programs[r].result(),
+                           ref_world.programs[r].result())
+    assert (world.tracer.logical_send_sequences()
+            == ref_world.tracer.logical_send_sequences())
+    assert world.engine.now == ref_world.engine.now
+
+
+def test_flight_enabled_does_not_perturb_results():
+    world, _c, _obs = run_instrumented()
+    ref_world, ref_c = build_ft_world(6, factory, config())
+    ref_c.inject_failure(4e-5, 3)
+    ref_c.arm()
+    ref_world.launch()
+    ref_world.run()
+    for r in range(6):
+        assert np.allclose(world.programs[r].result(),
+                           ref_world.programs[r].result())
+    assert world.engine.now == ref_world.engine.now

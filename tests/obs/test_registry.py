@@ -126,3 +126,59 @@ def test_bind_clock_stamps_events():
     reg.event("after")
     times = [r.time for r in reg.events]
     assert times == [0.0, 42.0]
+
+
+def test_histogram_bounds_mismatch_rejected():
+    # re-registration with different bounds must fail loudly, like
+    # counter() label mismatches — not silently keep the first bounds
+    reg = MetricsRegistry()
+    reg.histogram("h", (1.0, 10.0))
+    with pytest.raises(SimulationError):
+        reg.histogram("h", (1.0, 10.0, 100.0))
+    # same bounds (even as ints) re-register fine
+    assert reg.histogram("h", (1, 10)).bounds == (1.0, 10.0)
+
+
+def test_null_registries_share_no_state():
+    a, b = NullRegistry(), NullRegistry()
+    a.event("kind", x=1)
+    assert len(a.events) == 0
+    assert len(b.events) == 0
+    # the events sentinel is immutable — nothing can leak between instances
+    assert not hasattr(a.events, "append")
+    a.flight.record(0, "send")
+    assert b.flight.total_records == 0
+
+
+def test_snapshot_merge_counters_gauges_histograms():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("c", ("k",)).inc(2, labels=("x",))
+        g = reg.gauge("g")
+        g.inc(5)
+        g.dec(2)
+        reg.histogram("h", (1.0, 10.0)).observe(3.0)
+        reg.event("e", i=1)
+        return reg
+
+    a, b = build(), build()
+    merged = MetricsRegistry()
+    merged.merge(a.snapshot())
+    merged.merge(b.snapshot())
+    assert merged.counter("c", ("k",)).get(("x",)) == 4
+    assert merged.gauge("g").value == 6
+    assert merged.gauge("g").high_water == 5  # max, not sum
+    h = merged.histogram("h", (1.0, 10.0))
+    assert h.count == 2 and h.sum == pytest.approx(6.0)
+    assert h.min == 3.0 and h.max == 3.0
+    assert len(merged.events) == 2
+
+
+def test_merge_rejects_histogram_bounds_clash():
+    a = MetricsRegistry()
+    a.histogram("h", (1.0,)).observe(0.5)
+    b = MetricsRegistry()
+    b.histogram("h", (2.0,)).observe(0.5)
+    b_snap = b.snapshot()
+    with pytest.raises(SimulationError):
+        a.merge(b_snap)

@@ -1,0 +1,73 @@
+"""Cross-process observability merging: worker registries ship snapshots
+back to the parent, and the merged registry is identical for any worker
+count (inline vs. pool)."""
+
+from repro.obs import MetricsRegistry
+from repro.sweep import SweepTask, run_sweep
+
+
+def obs_task(params):
+    """Module-level (picklable) task exercising every instrument type."""
+    obs = params["obs"]
+    n = params["n"]
+    obs.counter("task.runs").inc()
+    obs.counter("task.n", ("n",)).inc(n, labels=(n,))
+    g = obs.gauge("task.depth")
+    g.inc(n)
+    obs.histogram("task.size", (1.0, 10.0)).observe(float(n))
+    obs.event("task.done", n=n)
+    obs.flight.record(0, "send", uid=n)
+    return {"n": n}
+
+
+def tasks(count=4):
+    return [SweepTask(name=f"t{i}", params={"n": i + 1}) for i in range(count)]
+
+
+def run(workers):
+    parent = MetricsRegistry()
+    results = run_sweep(obs_task, tasks(), workers=workers,
+                        obs=parent, collect_obs=True)
+    assert all(r.ok for r in results)
+    return parent, results
+
+
+def comparable(reg):
+    snap = reg.snapshot()
+    # drop the parent-side sweep bookkeeping events (they carry wall-clock
+    # durations); counters/histograms/flight are the determinism contract
+    events = [(t, k, f) for t, k, f in snap["events"] if k != "sweep.task_done"]
+    return snap["instruments"], events, snap["flight"]
+
+
+def test_merged_obs_identical_inline_vs_pool():
+    seq, seq_results = run(workers=1)
+    par, par_results = run(workers=2)
+    assert comparable(seq) == comparable(par)
+    # per-result snapshots also identical in task order
+    assert [r.obs for r in seq_results] == [r.obs for r in par_results]
+
+
+def test_merge_happens_in_task_order():
+    parent, _results = run(workers=3)
+    # flight records concatenate in task order: uid sequence 1..4
+    assert [rec[4] for rec in parent.flight.records(rank=0)] == [1, 2, 3, 4]
+    assert parent.counter("task.runs").total == 4
+    assert parent.gauge("task.depth").value == 1 + 2 + 3 + 4
+
+
+def test_result_obs_excluded_from_json():
+    _parent, results = run(workers=1)
+    for r in results:
+        assert r.obs is not None
+        assert "obs" not in r.to_json()
+
+
+def test_collect_obs_without_parent_registry_still_ships_snapshots():
+    results = run_sweep(obs_task, tasks(2), workers=1, collect_obs=True)
+    assert all(r.obs["instruments"] for r in results)
+
+
+def test_no_collect_obs_keeps_results_lean():
+    results = run_sweep(lambda p: p["n"], tasks(2), workers=1)
+    assert all(r.obs is None for r in results)
