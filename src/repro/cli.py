@@ -14,7 +14,13 @@ Thin front-end over the library for the common workflows:
   the chain of non-logged messages that forced its rollback;
 * ``obs`` — run an instrumented scenario and dump the metrics/trace/
   flight streams as JSON-lines or CSV, or a Perfetto trace
-  (see ``docs/observability.md``).
+  (see ``docs/observability.md``);
+* ``lint`` — static determinism linter (RPD rules, ``# repro: noqa``
+  suppressions, text/JSON output; see ``docs/static-analysis.md``).
+
+The global ``--sanitize`` flag (before the subcommand) enables the
+runtime protocol-invariant sanitizer for the run, equivalent to setting
+``REPRO_SANITIZE=1``.
 
 Each command prints the paper-style output the benchmarks save under
 ``results/`` but lets users pick parameters interactively.
@@ -23,6 +29,7 @@ Each command prints the paper-style output the benchmarks save under
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -40,6 +47,7 @@ from .apps import TABLE1_KERNELS, Stencil2D
 from .baselines import run_domino_analysis
 from .core import ProtocolConfig, build_ft_world
 from .core.clustering import Clustering, block_clusters
+from .lint.sanitize import ENV_VAR as SANITIZE_ENV_VAR
 from .netmodel import MODES, PerfModel
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Uncoordinated checkpointing without domino effect "
                     "(IPDPS 2011) — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime protocol-invariant sanitizer for this "
+             "run (same as REPRO_SANITIZE=1)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -122,6 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
                           "trace-event JSON instead)")
     obs.add_argument("--flight-out", default=None,
                      help="write the flight-record stream (JSONL/CSV) here")
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism linter: flag unseeded RNG, wall-clock reads, "
+             "unordered iteration and friends (RPD rules)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    # comma-separated and repeatable (ruff-style) — a greedy nargs="+"
+    # would swallow the positional paths that follow
+    lint.add_argument("--select", action="append", metavar="CODE[,CODE...]",
+                      default=None, help="only report these rule codes")
+    lint.add_argument("--ignore", action="append", metavar="CODE[,CODE...]",
+                      default=None, help="drop these rule codes")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -494,6 +525,28 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism pass; exit 0 clean, 1 findings, 2 usage error."""
+    from .lint import lint_paths, list_rules_text, render_json, render_text
+
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+    def split_codes(groups):
+        if not groups:
+            return None
+        return [c for group in groups for c in group.split(",") if c.strip()]
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    report = lint_paths(paths, select=split_codes(args.select),
+                        ignore=split_codes(args.ignore))
+    if args.format == "json":
+        sys.stdout.write(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "table1": cmd_table1,
@@ -503,11 +556,16 @@ _COMMANDS = {
     "domino": cmd_domino,
     "explain": cmd_explain,
     "obs": cmd_obs,
+    "lint": cmd_lint,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize:
+        # must land in the environment before any world is built: every
+        # component snapshots sanitizer state at construction time
+        os.environ[SANITIZE_ENV_VAR] = "1"
     return _COMMANDS[args.command](args)
 
 

@@ -33,6 +33,7 @@ import enum
 from typing import Any, TYPE_CHECKING
 
 from ..errors import ProtocolError
+from ..lint.sanitize import sanitizer_for
 from ..obs.flight import FlightKind
 from ..simmpi.message import CONTROL_TAG_BASE, Envelope, retention_copy
 from ..simmpi.process import ProtocolHook
@@ -122,6 +123,9 @@ class SDProtocol(ProtocolHook):
         # comparison even when metrics are on but the recorder is not
         self.flight = (obs.flight
                        if obs.enabled and obs.flight.enabled else None)
+        # invariant sanitizer, same cached pattern: None when REPRO_SANITIZE
+        # is off, so the hot path pays one identity comparison
+        self.san = sanitizer_for(obs)
 
     # ------------------------------------------------------------------
     # Control-plane plumbing
@@ -216,6 +220,9 @@ class SDProtocol(ProtocolHook):
             st.phase = max(st.phase, msg_phase + 1)
         else:
             st.phase = max(st.phase, msg_phase)
+        if self.san is not None:
+            self.san.phase_lamport(self.rank, old_phase, st.phase, msg_phase,
+                                   crossed=meta["epoch"] < st.epoch)
         st.record_rpp(env.src, date)
         st.delivered_count += 1
         if self.flight is not None:
@@ -370,6 +377,11 @@ class SDProtocol(ProtocolHook):
             if epoch_send is not None and not (
                 self.controller.config.log_cross_epoch and epoch_send < epoch_recv
             ):
+                if self.san is not None:
+                    self.san.spe_non_logged(
+                        self.rank, src, epoch_send, epoch_recv,
+                        self.controller.config.log_cross_epoch,
+                    )
                 st.record_spe(src, epoch_send, epoch_recv)
             return
         if self.controller.config.log_cross_epoch and entry.epoch_send < epoch_recv:
@@ -378,6 +390,11 @@ class SDProtocol(ProtocolHook):
                     # replayed NonAck entry re-acked: refresh, don't duplicate
                     lm.epoch_recv = max(lm.epoch_recv, epoch_recv)
                     return
+            if self.san is not None:
+                self.san.logged_cross_epoch(
+                    self.rank, entry.epoch_send, epoch_recv,
+                    self.controller.config.log_cross_epoch,
+                )
             st.logs.append(
                 LoggedMessage(
                     dst=entry.dst,
@@ -405,6 +422,11 @@ class SDProtocol(ProtocolHook):
                                    epoch_recv=epoch_recv,
                                    phase=entry.phase_send)
         else:
+            if self.san is not None:
+                self.san.spe_non_logged(
+                    self.rank, entry.dst, entry.epoch_send, epoch_recv,
+                    self.controller.config.log_cross_epoch,
+                )
             st.record_spe(entry.dst, entry.epoch_send, epoch_recv)
             if self.obs is not None:
                 self.obs.counter("protocol.messages_confirmed").inc()

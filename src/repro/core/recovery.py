@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, TYPE_CHECKING
 
 from ..errors import ProtocolError
+from ..lint.sanitize import sanitizer_for
 from ..obs.flight import FlightKind
 from ..obs.registry import NULL_OBS
 from ..simmpi.message import Envelope
@@ -147,6 +148,7 @@ class RecoveryProcess:
         self.obs = getattr(controller, "obs", NULL_OBS)
         self.flight = (self.obs.flight
                        if self.obs.enabled and self.obs.flight.enabled else None)
+        self.san = sanitizer_for(self.obs)
         self.nprocs = controller.nprocs
         self.active = False
         self.round = 0
@@ -193,6 +195,8 @@ class RecoveryProcess:
             self._rollback_notices[env.src] = (payload["epoch"], payload["date"])
             self._maybe_compute_line()
         elif env.tag == CTL.SPE_UPLOAD:
+            if self.san is not None:
+                self.san.spe_table_ordered(env.src, payload["spe"])
             self._spe_tables[env.src] = payload["spe"]
             self._current_epochs[env.src] = payload["epoch"]
             self._maybe_compute_line()
@@ -235,6 +239,15 @@ class RecoveryProcess:
 
         self._rl = compute_recovery_line(self._spe_tables, failed_restarts,
                                          on_step=on_step)
+        if self.san is not None:
+            # the solver must have reached a true fix-point (re-solving
+            # from its own output is a no-op) and only moved epochs down
+            self.san.rl_fixpoint_stable(
+                self._rl,
+                lambda seeds: compute_recovery_line(self._spe_tables, seeds),
+            )
+            self.san.rl_monotone(self._rl, self._current_epochs,
+                                 failed_restarts)
         self._rl_sent = True
         assert self.report is not None
         self.report.recovery_line = dict(self._rl)

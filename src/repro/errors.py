@@ -33,6 +33,17 @@ class ProtocolError(ReproError):
     """An internal invariant of a rollback-recovery protocol was violated."""
 
 
+class InvariantViolation(ProtocolError):
+    """A runtime sanitizer check failed (``REPRO_SANITIZE=1``).
+
+    Raised at the exact event that broke one of the paper's protocol
+    invariants — logged-iff-cross-epoch, phase monotonicity, SPE
+    consistency, recovery-line fix-point stability — so the failure
+    surfaces at its root cause rather than as a diverged result many
+    recovery rounds later.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised on invalid checkpoint store operations (missing epoch, GC'd)."""
 

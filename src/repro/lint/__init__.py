@@ -1,0 +1,62 @@
+"""Correctness tooling: determinism linter + protocol-invariant sanitizer.
+
+Two complementary halves, one subsystem:
+
+* **Static** (:mod:`repro.lint.checker` / :mod:`repro.lint.runner`) — an
+  AST pass over the codebase flagging the bug classes that silently break
+  bit-reproducibility: unseeded RNG, wall-clock reads, unordered set
+  iteration on hot paths, ``id()`` ordering, float equality on logical
+  clocks, mutable defaults and bare excepts.  ``repro lint [paths]``
+  exits nonzero on findings; ``# repro: noqa[RPDxxx]`` suppresses a line.
+* **Dynamic** (:mod:`repro.lint.sanitize`) — runtime assertions, enabled
+  by ``REPRO_SANITIZE=1`` (or ``repro --sanitize ...``), that check the
+  paper's protocol invariants live inside the protocol, recovery and
+  engine layers.
+
+See ``docs/static-analysis.md`` for the rule catalog and the mapping of
+sanitizer invariants to the paper's lemmas.
+"""
+
+from .checker import DeterminismChecker, lint_source
+from .noqa import parse_suppressions
+from .rules import PARSE_ERROR_CODE, RULES, RULE_CODES, LintFinding, Rule, module_parts
+from .runner import (
+    LintReport,
+    iter_python_files,
+    lint_paths,
+    list_rules_text,
+    render_json,
+    render_text,
+)
+from .sanitize import (
+    AUDIT_INTERVAL,
+    ENV_VAR,
+    INVARIANTS,
+    Sanitizer,
+    sanitize_enabled,
+    sanitizer_for,
+)
+
+__all__ = [
+    "AUDIT_INTERVAL",
+    "DeterminismChecker",
+    "ENV_VAR",
+    "INVARIANTS",
+    "LintFinding",
+    "LintReport",
+    "PARSE_ERROR_CODE",
+    "RULES",
+    "RULE_CODES",
+    "Rule",
+    "Sanitizer",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "list_rules_text",
+    "module_parts",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "sanitize_enabled",
+    "sanitizer_for",
+]

@@ -1,0 +1,458 @@
+"""AST pass implementing the RPD determinism rules.
+
+One :class:`DeterminismChecker` visit walks a module and emits
+:class:`~repro.lint.rules.LintFinding` records; :func:`lint_source` is the
+string-level entry point (parse, visit, apply path scopes and ``noqa``
+suppressions).
+
+Design notes
+------------
+The checker is *name-resolution light*: it tracks import aliases
+(``import numpy as np`` makes ``np.random.rand`` recognisable) and, for
+the unordered-iteration rule, simple local assignments (``s = set(...)``
+followed by ``for x in s``), but it does not attempt type inference.
+False negatives are accepted — a linter that misses a hazard is still
+useful; one that cries wolf gets ``noqa``-ed into silence.  Every
+heuristic below errs toward precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .noqa import parse_suppressions
+from .rules import PARSE_ERROR_CODE, RULE_CODES, LintFinding
+
+__all__ = ["DeterminismChecker", "lint_source"]
+
+#: time-module attributes that read a host clock
+_TIME_CLOCK_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns", "thread_time", "thread_time_ns",
+})
+#: datetime classmethods that read a host clock
+_DATETIME_NOW_FNS = frozenset({"now", "utcnow", "today"})
+#: numpy.random constructors that are fine *when given a seed argument*
+_SEEDED_RNG_CTORS = frozenset({"default_rng", "RandomState", "Generator"})
+#: builtins that materialise their argument in iteration order
+_ORDER_MATERIALISERS = frozenset({"list", "tuple", "iter", "enumerate"})
+#: set methods that return another set
+_SET_RETURNING_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+#: callables whose result as a default argument is shared across calls
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+})
+#: identifiers that mark an expression as (float) clock-typed for RPD005.
+#: Integer logical clocks — epoch, phase, date — compare exactly by design
+#: and are NOT listed; they are still caught when compared against a float
+#: literal, because any float constant marks the comparison.
+_CLOCKISH_NAMES = frozenset({
+    "now", "elapsed", "duration", "deadline", "timestamp", "t0", "t1",
+})
+_CLOCKISH_SUFFIXES = ("_time", "_at", "_seconds", "_ts")
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted rendering of a call target, for messages."""
+    if isinstance(node, ast.Attribute):
+        return f"{_dotted(node.value)}.{node.attr}"
+    if isinstance(node, ast.Name):
+        return node.id
+    return "<expr>"
+
+
+class DeterminismChecker(ast.NodeVisitor):
+    """Single-pass visitor collecting RPD findings for one module."""
+
+    def __init__(self) -> None:
+        self.findings: list[LintFinding] = []
+        # import tracking -----------------------------------------------
+        self._random_mods: set[str] = set()       # import random [as r]
+        self._numpy_mods: set[str] = set()        # import numpy [as np]
+        self._numpy_random: set[str] = set()      # from numpy import random
+        self._time_mods: set[str] = set()
+        self._os_mods: set[str] = set()
+        self._datetime_mods: set[str] = set()
+        self._datetime_classes: set[str] = set()  # from datetime import datetime
+        #: local name -> (module, original name) for from-imports of
+        #: random/time/os functions
+        self._from_fns: dict[str, tuple[str, str]] = {}
+        # scope stack for set-typed local names (RPD003) -----------------
+        self._set_vars: list[set[str]] = [set()]
+
+    # ------------------------------------------------------------------
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(LintFinding(
+            path="", line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), code=code, message=message,
+        ))
+
+    # ------------------------------------------------------------------
+    # Imports
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self._random_mods.add(local)
+            elif alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self._numpy_random.add(alias.asname)
+                else:
+                    self._numpy_mods.add(local)
+            elif alias.name == "time":
+                self._time_mods.add(local)
+            elif alias.name == "os":
+                self._os_mods.add(local)
+            elif alias.name == "datetime":
+                self._datetime_mods.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if mod == "numpy" and alias.name == "random":
+                self._numpy_random.add(local)
+            elif mod == "random":
+                self._from_fns[local] = ("random", alias.name)
+            elif mod == "time" and alias.name in _TIME_CLOCK_FNS:
+                self._from_fns[local] = ("time", alias.name)
+            elif mod == "os" and alias.name == "urandom":
+                self._from_fns[local] = ("os", alias.name)
+            elif mod == "datetime" and alias.name in ("datetime", "date"):
+                self._datetime_classes.add(local)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # Scope handling (RPD003 set-variable tracking, RPD006 defaults)
+    # ------------------------------------------------------------------
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                        | ast.Lambda) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if self._is_mutable_literal(default):
+                self._emit(default, "RPD006",
+                           "mutable default argument is created once and "
+                           "shared across calls")
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._set_vars.append(set())
+        self.generic_visit(node)
+        self._set_vars.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._set_vars.append(set())
+        self.generic_visit(node)
+        self._set_vars.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._set_vars.append(set())
+        self.generic_visit(node)
+        self._set_vars.pop()
+
+    # ------------------------------------------------------------------
+    # RPD003 helpers: which expressions are known to be sets?
+    # ------------------------------------------------------------------
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_vars)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _SET_RETURNING_METHODS):
+                return self._is_set_expr(func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    @staticmethod
+    def _is_set_annotation(node: ast.expr) -> bool:
+        base = node.value if isinstance(node, ast.Subscript) else node
+        name = _terminal_name(base)
+        return name in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                scope = self._set_vars[-1]
+                if is_set:
+                    scope.add(target.id)
+                else:
+                    scope.discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and self._is_set_annotation(
+            node.annotation
+        ):
+            self._set_vars[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if self._is_set_expr(iter_node):
+            self._emit(iter_node, "RPD003",
+                       "iteration over a set has no deterministic order; "
+                       "wrap in sorted(...) or keep an ordered container")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_generators(
+        self, generators: Iterable[ast.comprehension]
+    ) -> None:
+        for gen in generators:
+            self._check_iteration(gen.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # Calls: RPD001, RPD002, RPD003 (materialisers/popitem), RPD004
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        self._check_rng_call(node, func)
+        self._check_clock_call(node, func)
+        # list(set(...)) and friends materialise in iteration order
+        if (isinstance(func, ast.Name)
+                and func.id in _ORDER_MATERIALISERS
+                and node.args and self._is_set_expr(node.args[0])):
+            self._emit(node, "RPD003",
+                       f"{func.id}() over a set materialises a "
+                       "nondeterministic order; use sorted(...)")
+        if isinstance(func, ast.Attribute) and func.attr == "popitem":
+            self._emit(node, "RPD003",
+                       "dict.popitem() removes an arbitrary end of the "
+                       "insertion order; pop an explicit key instead")
+        # sorted/min/max/.sort with key=id
+        target = _terminal_name(func)
+        if target in ("sorted", "min", "max", "sort"):
+            for kw in node.keywords:
+                if (kw.arg == "key" and isinstance(kw.value, ast.Name)
+                        and kw.value.id == "id"):
+                    self._emit(node, "RPD004",
+                               f"{target}(key=id) orders by allocator "
+                               "address; use a stable key")
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call, func: ast.expr) -> None:
+        # random.<fn>(...) on the module object
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base in self._random_mods:
+                if attr in ("Random", "SystemRandom"):
+                    if attr == "SystemRandom" or not node.args:
+                        self._emit(node, "RPD001",
+                                   f"{_dotted(func)}() without a seed draws "
+                                   "from OS entropy")
+                else:
+                    self._emit(node, "RPD001",
+                               f"module-level {_dotted(func)}() uses the "
+                               "shared unseeded RNG")
+                return
+            if base in self._numpy_random:
+                self._check_numpy_random_attr(node, func, attr)
+                return
+        # np.random.<fn>(...)
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in self._numpy_mods
+                and func.value.attr == "random"):
+            self._check_numpy_random_attr(node, func, func.attr)
+            return
+        # from random import randrange; randrange(...)
+        if isinstance(func, ast.Name):
+            origin = self._from_fns.get(func.id)
+            if origin is not None and origin[0] == "random":
+                if origin[1] == "Random" and node.args:
+                    return  # seeded instance construction
+                self._emit(node, "RPD001",
+                           f"module-level {origin[0]}.{origin[1]}() uses "
+                           "the shared unseeded RNG")
+
+    def _check_numpy_random_attr(self, node: ast.Call, func: ast.expr,
+                                 attr: str) -> None:
+        if attr in _SEEDED_RNG_CTORS and node.args:
+            return  # explicitly seeded generator
+        self._emit(node, "RPD001",
+                   f"{_dotted(func)}() draws from numpy's global/unseeded "
+                   "RNG; use numpy.random.default_rng(seed)")
+
+    def _check_clock_call(self, node: ast.Call, func: ast.expr) -> None:
+        if isinstance(func, ast.Attribute):
+            value, attr = func.value, func.attr
+            if isinstance(value, ast.Name):
+                if value.id in self._time_mods and attr in _TIME_CLOCK_FNS:
+                    self._emit(node, "RPD002",
+                               f"wall-clock read {_dotted(func)}()")
+                    return
+                if value.id in self._os_mods and attr == "urandom":
+                    self._emit(node, "RPD002",
+                               "os.urandom() reads OS entropy")
+                    return
+                if (value.id in self._datetime_classes
+                        and attr in _DATETIME_NOW_FNS):
+                    self._emit(node, "RPD002",
+                               f"wall-clock read {_dotted(func)}()")
+                    return
+            # datetime.datetime.now(...)
+            if (isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in self._datetime_mods
+                    and value.attr in ("datetime", "date")
+                    and attr in _DATETIME_NOW_FNS):
+                self._emit(node, "RPD002",
+                           f"wall-clock read {_dotted(func)}()")
+                return
+        if isinstance(func, ast.Name):
+            origin = self._from_fns.get(func.id)
+            if origin is not None and origin[0] in ("time", "os"):
+                self._emit(node, "RPD002",
+                           f"wall-clock read {origin[0]}.{origin[1]}()")
+
+    # ------------------------------------------------------------------
+    # RPD004 (id comparisons) and RPD005 (float equality)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_id_call(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id")
+
+    @classmethod
+    def _is_clockish(cls, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            return name in ("now", "time", "perf_counter", "monotonic")
+        name = _terminal_name(node)
+        if name is None:
+            return False
+        low = name.lower()
+        return low in _CLOCKISH_NAMES or low.endswith(_CLOCKISH_SUFFIXES)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            left, right = operands[i], operands[i + 1]
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                if self._is_id_call(left) and self._is_id_call(right):
+                    self._emit(node, "RPD004",
+                               "ordering id() values compares allocator "
+                               "addresses")
+            elif isinstance(op, (ast.Eq, ast.NotEq)):
+                if self._is_clockish(left) or self._is_clockish(right):
+                    self._emit(node, "RPD005",
+                               "exact ==/!= on a clock/epoch/phase-typed "
+                               "expression; use a tolerance or integer "
+                               "logical clocks")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # RPD007: bare except
+    # ------------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(node, "RPD007",
+                       "bare `except:` also catches SystemExit/"
+                       "KeyboardInterrupt and masks crash isolation")
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: frozenset[str] | None = None,
+    ignore: frozenset[str] | None = None,
+) -> list[LintFinding]:
+    """Lint one module's source text.
+
+    ``select``/``ignore`` filter by rule code *after* path scoping and
+    ``noqa`` suppression.  Unparseable source yields a single
+    ``RPD000`` finding (a broken file cannot be certified deterministic).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path=path, line=exc.lineno or 0,
+                            col=exc.offset or 0, code=PARSE_ERROR_CODE,
+                            message=f"file does not parse: {exc.msg}")]
+    checker = DeterminismChecker()
+    checker.visit(tree)
+    suppressions = parse_suppressions(source)
+    out: list[LintFinding] = []
+    for finding in checker.findings:
+        rule = RULE_CODES[finding.code]
+        if not rule.applies_to(path):
+            continue
+        if suppressions.suppresses(finding.line, finding.code):
+            continue
+        if select is not None and finding.code not in select:
+            continue
+        if ignore is not None and finding.code in ignore:
+            continue
+        out.append(LintFinding(path=path, line=finding.line, col=finding.col,
+                               code=finding.code, message=finding.message))
+    out.sort(key=lambda f: (f.line, f.col, f.code))
+    return out

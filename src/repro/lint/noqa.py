@@ -1,0 +1,64 @@
+"""``# repro: noqa`` suppression parsing.
+
+A finding is suppressed when its *physical line* carries a marker:
+
+* ``# repro: noqa`` — suppress every rule on that line;
+* ``# repro: noqa[RPD002]`` — suppress the listed code;
+* ``# repro: noqa[RPD001,RPD003]`` — suppress several codes.
+
+The marker is deliberately namespaced (``repro:``) so it never collides
+with flake8/ruff's own ``# noqa`` and a reviewer can grep for protocol
+suppressions specifically.  Parsing is line-based (no tokenizer): a
+marker inside a string literal would also suppress, which is acceptable
+for a repo-internal tool and keeps the scan allocation-free.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+#: sentinel meaning "every code suppressed on this line"
+_ALL = frozenset({"*"})
+
+
+class Suppressions:
+    """Per-file map of line number -> suppressed rule codes."""
+
+    __slots__ = ("_lines",)
+
+    def __init__(self, lines: dict[int, frozenset[str]]):
+        self._lines = lines
+
+    def suppresses(self, line: int, code: str) -> bool:
+        codes = self._lines.get(line)
+        if codes is None:
+            return False
+        return codes is _ALL or code in codes
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for noqa markers, one entry per marked line."""
+    lines: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "noqa" not in text:  # cheap pre-filter before the regex
+            continue
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        raw = m.group("codes")
+        if raw is None:
+            lines[lineno] = _ALL
+        else:
+            lines[lineno] = frozenset(
+                c.strip().upper() for c in raw.split(",") if c.strip()
+            )
+    return Suppressions(lines)

@@ -1,0 +1,166 @@
+"""Rule catalog for the determinism linter.
+
+Every rule has a stable ``RPDxxx`` code (Repro Protocol Determinism), a
+one-line summary used by ``repro lint --list-rules`` and the docs, and a
+*path scope* restricting where it fires.  The scopes encode the paper's
+correctness perimeter:
+
+* hot-path packages (``core/``, ``simmpi/``, ``sweep/``) carry the
+  bit-reproducibility burden — iteration-order hazards are only flagged
+  there;
+* ``obs/`` is the one subsystem allowed to look at clocks (it binds the
+  *virtual* clock, and its exporters are off the replay path), so the
+  wall-clock rule exempts it.
+
+Files *outside* the ``repro`` package tree (test fixtures, scratch
+scripts handed to ``repro lint``) get every rule: an unknown file is
+treated as hot-path until proven otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["LintFinding", "Rule", "RULES", "RULE_CODES", "rule", "module_parts"]
+
+
+def module_parts(path: str) -> tuple[str, ...] | None:
+    """Locate ``path`` inside the ``repro`` package; ``None`` if outside.
+
+    Returns the parts *after* the last ``repro`` component, so
+    ``src/repro/core/protocol.py`` -> ``("core", "protocol.py")``.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return tuple(parts[i + 1:])
+    return None
+
+
+def _in_packages(path: str, packages: frozenset[str]) -> bool:
+    """True when the file is in one of ``packages`` — or outside repro."""
+    parts = module_parts(path)
+    if parts is None or len(parts) < 2:
+        return True  # unknown location (or top-level module): strict
+    return parts[0] in packages
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter hit, ready for text or JSON rendering."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule (the logic lives in the checker)."""
+
+    code: str
+    name: str
+    summary: str
+    #: path -> bool; the checker drops findings whose file is out of scope
+    applies_to: Callable[[str], bool]
+
+
+def _everywhere(_path: str) -> bool:
+    return True
+
+
+def _outside_obs(path: str) -> bool:
+    parts = module_parts(path)
+    if parts is None or len(parts) < 2:
+        return True
+    return parts[0] != "obs"
+
+
+_ORDER_SENSITIVE = frozenset({"core", "simmpi", "sweep"})
+
+
+def _order_sensitive(path: str) -> bool:
+    return _in_packages(path, _ORDER_SENSITIVE)
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="RPD001",
+        name="unseeded-rng",
+        summary="module-level random.* / numpy.random call draws from "
+                "unseeded global state; use random.Random(seed) or "
+                "numpy.random.default_rng(seed)",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="RPD002",
+        name="wall-clock-read",
+        summary="wall-clock read (time.time/perf_counter, datetime.now, "
+                "os.urandom, ...) outside obs/ breaks bit-reproducibility; "
+                "use the engine's virtual clock",
+        applies_to=_outside_obs,
+    ),
+    Rule(
+        code="RPD003",
+        name="unordered-iteration",
+        summary="iteration over set/frozenset (or dict.popitem) in an "
+                "order-sensitive package; wrap in sorted(...) or use an "
+                "ordered container",
+        applies_to=_order_sensitive,
+    ),
+    Rule(
+        code="RPD004",
+        name="id-ordering",
+        summary="ordering by id() depends on allocator addresses and "
+                "varies run to run; order by a stable key",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="RPD005",
+        name="float-equality",
+        summary="float ==/!= on a clock/epoch/phase-typed expression; "
+                "compare with a tolerance or use integer logical clocks",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="RPD006",
+        name="mutable-default",
+        summary="mutable default argument is shared across calls and "
+                "makes behaviour depend on call history",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="RPD007",
+        name="bare-except",
+        summary="bare `except:` swallows SystemExit/KeyboardInterrupt and "
+                "masks crash isolation in sweep workers; catch Exception "
+                "(or narrower)",
+        applies_to=_everywhere,
+    ),
+)
+
+#: ``code -> Rule`` view of the catalog
+RULE_CODES: dict[str, Rule] = {r.code: r for r in RULES}
+
+#: pseudo-code attached to files the linter cannot parse
+PARSE_ERROR_CODE = "RPD000"
+
+
+def rule(code: str) -> Rule:
+    """Look up a rule by code; raises ``KeyError`` on unknown codes."""
+    return RULE_CODES[code]

@@ -1,0 +1,233 @@
+"""Runtime protocol-invariant sanitizer (``REPRO_SANITIZE=1``).
+
+The linter certifies the *code*; the sanitizer certifies the *run*.  When
+enabled it attaches cheap per-event assertions to the protocol, recovery
+and engine layers, checking live the invariants the paper's Section IV
+correctness argument rests on:
+
+``logged_cross_epoch``
+    A message enters the sender-based log iff it crossed epochs upward
+    (``epoch_send < epoch_recv`` — Lemma 1's "logged iff past-to-future").
+``spe_non_logged``
+    Every SPE cell records a *non*-logged message, so ``epoch_recv <=
+    epoch_send`` whenever epoch-crossing logging is on (the GC bound
+    "nobody rolls below the smallest current epoch" depends on it).
+``phase_lamport``
+    Phases propagate as a Lamport max: on delivery the receiver's phase
+    becomes ``max(own, sender's + crossed)`` and never decreases within
+    an execution branch.
+``spe_table_ordered``
+    An uploaded SPE table is internally consistent with the delivered
+    messages that built it: epoch order is start-date order, and every
+    recorded reception epoch is a real epoch (``>= 1``).
+``rl_fixpoint_stable``
+    The recovery line is a fix-point: re-running the solver on its own
+    output changes nothing.
+``rl_monotone``
+    The fix-point only moves restart epochs down: no rank is asked to
+    restart above its current epoch (or, for failed ranks, above the
+    checkpoint it was restored from).
+``engine_pending_audit``
+    The engine's O(1) pending-event counter agrees with the queue's
+    actual live-entry count (amortised: every ``AUDIT_INTERVAL``
+    dispatches).
+
+Cost model: the enabled checks are O(1) per event except the two
+recovery-line checks (once per recovery round) and the engine audit
+(amortised O(1)).  When *disabled* — the default — components cache
+``None`` instead of a sanitizer, exactly the observability subsystem's
+cached-instrument pattern, so the hot path pays one identity comparison
+(measured ~0 in ``benchmarks/test_sanitize_overhead.py``).
+
+A violation raises :class:`repro.errors.InvariantViolation` at the event
+that broke the invariant, with the protocol context in the message —
+turning "the results diverged three recoveries later" into a stack trace
+at the root cause.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Mapping
+
+from ..errors import InvariantViolation
+
+__all__ = [
+    "ENV_VAR",
+    "AUDIT_INTERVAL",
+    "INVARIANTS",
+    "Sanitizer",
+    "sanitize_enabled",
+    "sanitizer_for",
+]
+
+#: environment switch; any value except 0/false/no/off enables
+ENV_VAR = "REPRO_SANITIZE"
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+#: engine dispatches between pending-counter audits (power of two: the
+#: dispatch-loop test is a mask, not a modulo)
+AUDIT_INTERVAL = 1024
+
+#: every invariant the sanitizer can certify, in documentation order
+INVARIANTS: tuple[str, ...] = (
+    "logged_cross_epoch",
+    "spe_non_logged",
+    "phase_lamport",
+    "spe_table_ordered",
+    "rl_fixpoint_stable",
+    "rl_monotone",
+    "engine_pending_audit",
+)
+
+
+def sanitize_enabled(override: bool | None = None) -> bool:
+    """Is the sanitizer on?  ``override`` beats the environment."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def sanitizer_for(obs: Any = None, override: bool | None = None) -> "Sanitizer | None":
+    """The component-side constructor: a :class:`Sanitizer` when enabled,
+    else ``None`` — callers cache the result and guard every check with
+    one ``is not None`` comparison (the cached-instrument pattern)."""
+    return Sanitizer(obs) if sanitize_enabled(override) else None
+
+
+class Sanitizer:
+    """Live invariant checks with per-invariant execution counts.
+
+    Counts land both in ``self.checks`` (registry-free assertions) and,
+    when an enabled metrics registry is supplied, in the labelled counter
+    ``sanitize.checks`` so CI can prove every invariant actually ran.
+    """
+
+    __slots__ = ("checks", "_counter")
+
+    def __init__(self, obs: Any = None):
+        self.checks: dict[str, int] = {}
+        self._counter = (
+            obs.counter("sanitize.checks", ("invariant",))
+            if obs is not None and getattr(obs, "enabled", False)
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def _tick(self, name: str) -> None:
+        self.checks[name] = self.checks.get(name, 0) + 1
+        if self._counter is not None:
+            self._counter.inc(labels=(name,))
+
+    @staticmethod
+    def _fail(name: str, detail: str) -> None:
+        raise InvariantViolation(f"sanitizer[{name}]: {detail}")
+
+    # ------------------------------------------------------------------
+    # Protocol-layer checks (per logging decision / per delivery)
+    # ------------------------------------------------------------------
+    def logged_cross_epoch(self, rank: int, epoch_send: int, epoch_recv: int,
+                           log_enabled: bool) -> None:
+        """Called when a message is appended to the sender-based log."""
+        self._tick("logged_cross_epoch")
+        if not log_enabled:
+            self._fail("logged_cross_epoch",
+                       f"rank {rank} logged a message while epoch-crossing "
+                       "logging is disabled")
+        if epoch_send >= epoch_recv:
+            self._fail("logged_cross_epoch",
+                       f"rank {rank} logged a non-crossing message "
+                       f"(epoch_send={epoch_send} >= epoch_recv={epoch_recv})")
+
+    def spe_non_logged(self, rank: int, dst: int, epoch_send: int,
+                       epoch_recv: int, log_enabled: bool) -> None:
+        """Called when an acknowledged message lands in SPE instead of
+        the log."""
+        self._tick("spe_non_logged")
+        if log_enabled and epoch_send < epoch_recv:
+            self._fail("spe_non_logged",
+                       f"rank {rank} recorded a crossing message to {dst} in "
+                       f"SPE (epoch_send={epoch_send} < "
+                       f"epoch_recv={epoch_recv}); it should have been logged")
+
+    def phase_lamport(self, rank: int, old_phase: int, new_phase: int,
+                      msg_phase: int, crossed: bool) -> None:
+        """Called after a fresh delivery updated the receiver's phase."""
+        self._tick("phase_lamport")
+        expected = max(old_phase, msg_phase + 1 if crossed else msg_phase)
+        if new_phase != expected:
+            self._fail("phase_lamport",
+                       f"rank {rank} phase {old_phase} -> {new_phase} on "
+                       f"delivery of msg_phase={msg_phase} crossed={crossed}; "
+                       f"Lamport max requires {expected}")
+        if new_phase < old_phase:
+            self._fail("phase_lamport",
+                       f"rank {rank} phase moved backwards "
+                       f"({old_phase} -> {new_phase})")
+
+    # ------------------------------------------------------------------
+    # Recovery-layer checks (per SPE upload / per recovery round)
+    # ------------------------------------------------------------------
+    def spe_table_ordered(self, rank: int,
+                          spe: Mapping[int, tuple[int, Mapping[int, int]]]) -> None:
+        """Called when the recovery process receives rank's SPE export
+        (``epoch -> (start_date, {peer: recv_epoch})``)."""
+        self._tick("spe_table_ordered")
+        prev_date = None
+        for epoch in sorted(spe):
+            start_date, per_peer = spe[epoch]
+            if prev_date is not None and start_date < prev_date:
+                self._fail("spe_table_ordered",
+                           f"rank {rank} SPE epoch {epoch} starts at date "
+                           f"{start_date}, before the previous epoch's "
+                           f"{prev_date} — epoch order must be date order")
+            prev_date = start_date
+            for peer, recv_epoch in per_peer.items():
+                if recv_epoch < 1:
+                    self._fail("spe_table_ordered",
+                               f"rank {rank} SPE epoch {epoch} records "
+                               f"reception epoch {recv_epoch} for peer "
+                               f"{peer}; epochs start at 1")
+
+    def rl_fixpoint_stable(
+        self,
+        rl: Mapping[int, tuple[int, int]],
+        resolve: Callable[[dict[int, int]], Mapping[int, tuple[int, int]]],
+    ) -> None:
+        """Re-run the recovery-line solver seeded with its own output;
+        a true fix-point reproduces itself exactly."""
+        self._tick("rl_fixpoint_stable")
+        again = resolve({rank: epoch for rank, (epoch, _date) in rl.items()})
+        if dict(again) != dict(rl):
+            changed = {
+                r: (dict(rl).get(r), dict(again).get(r))
+                for r in set(rl) | set(again)
+                if dict(rl).get(r) != dict(again).get(r)
+            }
+            self._fail("rl_fixpoint_stable",
+                       f"recovery line is not a fix-point; re-solving moved "
+                       f"{changed}")
+
+    def rl_monotone(self, rl: Mapping[int, tuple[int, int]],
+                    current_epochs: Mapping[int, int],
+                    failed_restarts: Mapping[int, int]) -> None:
+        """The fix-point only lowers restart epochs."""
+        self._tick("rl_monotone")
+        for rank, (epoch, _date) in rl.items():
+            bound = failed_restarts.get(rank, current_epochs.get(rank))
+            if bound is not None and epoch > bound:
+                self._fail("rl_monotone",
+                           f"recovery line restarts rank {rank} at epoch "
+                           f"{epoch}, above its bound {bound}")
+
+    # ------------------------------------------------------------------
+    # Engine-layer check (amortised per AUDIT_INTERVAL dispatches)
+    # ------------------------------------------------------------------
+    def engine_pending_audit(self, live: int, pending: int) -> None:
+        """Compare the engine's O(1) pending counter with an actual count
+        of live queue entries."""
+        self._tick("engine_pending_audit")
+        if live != pending:
+            self._fail("engine_pending_audit",
+                       f"engine pending counter drifted: counter={pending}, "
+                       f"queue holds {live} live entries")

@@ -33,6 +33,7 @@ import heapq
 from typing import Any, Callable
 
 from ..errors import SimulationError
+from ..lint.sanitize import AUDIT_INTERVAL, sanitizer_for
 from ..obs.registry import DEPTH_BUCKETS
 
 __all__ = ["Engine", "EventHandle"]
@@ -44,6 +45,9 @@ _PENDING, _CANCELLED, _DISPATCHED = 0, 1, 2
 
 #: never compact below this queue size (rebuild cost would dominate)
 _COMPACT_MIN = 64
+
+#: dispatch-count mask between sanitizer pending-counter audits
+_AUDIT_MASK = AUDIT_INTERVAL - 1
 
 
 class EventHandle:
@@ -98,6 +102,9 @@ class Engine:
         self._compactions = 0
         self._running = False
         self.obs = obs if (obs is not None and obs.enabled) else None
+        # REPRO_SANITIZE: None when off — the dispatch loop pays a single
+        # identity comparison, mirroring the cached-instrument pattern
+        self._san = sanitizer_for(self.obs)
         if self.obs is not None:
             self.obs.bind_clock(lambda: self.now)
             # cache the instrument handles once: _record_dispatch runs per
@@ -212,9 +219,16 @@ class Engine:
             self._events_dispatched += 1
             if self.obs is not None:
                 self._record_dispatch(entry)
+            if self._san is not None and not (self._events_dispatched & _AUDIT_MASK):
+                self._audit_pending()
             entry[_CALLBACK]()
             return True
         return False
+
+    def _audit_pending(self) -> None:
+        """Sanitizer: recount live queue entries against the O(1) counter."""
+        live = sum(1 for e in self._queue if e[_STATE] == _PENDING)
+        self._san.engine_pending_audit(live, self._pending)
 
     def _record_dispatch(self, entry: list) -> None:
         """Attribute the dispatch to the callback's class (cold path)."""
@@ -275,6 +289,10 @@ class Engine:
                 dispatched += 1
                 if self.obs is not None:
                     self._record_dispatch(entry)
+                if self._san is not None and not (
+                    self._events_dispatched & _AUDIT_MASK
+                ):
+                    self._audit_pending()
                 entry[_CALLBACK]()
         finally:
             self._running = False

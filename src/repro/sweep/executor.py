@@ -138,7 +138,9 @@ def _execute(fn: Callable[[dict[str, Any]], Any], task: SweepTask,
         registry = MetricsRegistry()
         params["obs"] = registry
     snap = None
-    t0 = time.perf_counter()
+    # host wall-clock is allowed here: SweepResult.duration is documented
+    # as informational-only and never feeds a determinism-sensitive path
+    t0 = time.perf_counter()  # repro: noqa[RPD002]
     try:
         value = fn(params)
     except Exception as exc:  # noqa: BLE001 — isolation is the point
@@ -148,14 +150,16 @@ def _execute(fn: Callable[[dict[str, Any]], Any], task: SweepTask,
             index=index, name=task.name, status="error",
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
-            duration=time.perf_counter() - t0, seed=seed, params=task.params,
+            duration=time.perf_counter() - t0,  # repro: noqa[RPD002]
+            seed=seed, params=task.params,
             obs=snap,
         )
     if registry is not None:
         snap = registry.snapshot()
     return SweepResult(
         index=index, name=task.name, status="ok", value=value,
-        duration=time.perf_counter() - t0, seed=seed, params=task.params,
+        duration=time.perf_counter() - t0,  # repro: noqa[RPD002]
+        seed=seed, params=task.params,
         obs=snap,
     )
 

@@ -1,0 +1,180 @@
+"""Batch runner + CLI: the repo is lint-clean, a seeded fixture trips
+every rule, and `repro lint` speaks the documented exit codes."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.lint import (
+    RULE_CODES,
+    iter_python_files,
+    lint_paths,
+    list_rules_text,
+    render_json,
+    render_text,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+#: one violation per rule; lives outside the repro tree, so every rule is
+#: in scope (strict default for unknown paths)
+DIRTY = textwrap.dedent("""\
+    import random
+    import time
+
+    x = random.random()
+    t = time.time()
+    for item in {1, 2, 3}:
+        pass
+    order = sorted([object(), object()], key=id)
+
+    def close(now, log=[]):
+        return now == 0.5
+
+    try:
+        pass
+    except:
+        pass
+""")
+
+
+def _cli(*argv, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the repo itself is clean
+# ----------------------------------------------------------------------
+
+def test_repo_src_is_lint_clean():
+    report = lint_paths([os.path.join(SRC, "repro")])
+    assert report.findings == [], render_text(report)
+    assert report.errors == []
+    assert report.exit_code == 0
+    assert report.files_checked > 50  # the walk really covered the package
+
+
+# ----------------------------------------------------------------------
+# Acceptance: a seeded fixture trips every rule and exits nonzero
+# ----------------------------------------------------------------------
+
+def test_seeded_fixture_trips_every_rule(tmp_path):
+    fixture = tmp_path / "dirty.py"
+    fixture.write_text(DIRTY)
+    report = lint_paths([str(fixture)])
+    assert report.exit_code == 1
+    assert {f.code for f in report.findings} == set(RULE_CODES)
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path):
+    fixture = tmp_path / "dirty.py"
+    fixture.write_text(DIRTY)
+    proc = _cli(str(fixture))
+    assert proc.returncode == 1
+    for code in RULE_CODES:
+        assert code in proc.stdout
+
+
+def test_cli_clean_run_exit_zero(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    proc = _cli(str(clean))
+    assert proc.returncode == 0
+    assert "1 files checked, 0 findings" in proc.stdout
+
+
+def test_cli_json_output(tmp_path):
+    fixture = tmp_path / "dirty.py"
+    fixture.write_text(DIRTY)
+    proc = _cli("--format", "json", str(fixture))
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    assert doc["exit_code"] == 1
+    assert doc["files_checked"] == 1
+    assert {f["code"] for f in doc["findings"]} == set(RULE_CODES)
+    for f in doc["findings"]:
+        assert set(f) == {"path", "line", "col", "code", "message"}
+
+
+def test_cli_list_rules():
+    proc = _cli("--list-rules")
+    assert proc.returncode == 0
+    for code, rule in RULE_CODES.items():
+        assert f"{code} {rule.name}" in proc.stdout
+    assert proc.stdout.strip() == list_rules_text().strip()
+
+
+def test_cli_select_and_ignore(tmp_path):
+    fixture = tmp_path / "dirty.py"
+    fixture.write_text(DIRTY)
+    proc = _cli("--select", "RPD007", str(fixture))
+    assert proc.returncode == 1
+    assert "RPD007" in proc.stdout and "RPD001" not in proc.stdout
+    every = ",".join(sorted(RULE_CODES))
+    proc = _cli("--ignore", every, str(fixture))
+    assert proc.returncode == 0
+    # repeatable form composes with the comma form
+    proc = _cli("--select", "RPD001,RPD002", "--select", "RPD007", str(fixture))
+    assert proc.returncode == 1
+    assert {"RPD001", "RPD002", "RPD007"} == {
+        line.split()[1] for line in proc.stdout.splitlines()
+        if " RPD" in line
+    }
+
+
+# ----------------------------------------------------------------------
+# Usage errors -> exit 2
+# ----------------------------------------------------------------------
+
+def test_unknown_rule_code_exit_2(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    proc = _cli("--select", "RPD999", str(clean))
+    assert proc.returncode == 2
+    assert "unknown rule code" in proc.stdout + proc.stderr
+
+
+def test_missing_path_exit_2(tmp_path):
+    proc = _cli(str(tmp_path / "no_such_dir"))
+    assert proc.returncode == 2
+
+
+# ----------------------------------------------------------------------
+# Runner mechanics
+# ----------------------------------------------------------------------
+
+def test_iter_python_files_sorted_dedup_and_skips(tmp_path):
+    (tmp_path / "b.py").write_text("")
+    (tmp_path / "a.py").write_text("")
+    (tmp_path / "notes.txt").write_text("")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "a.cpython-311.pyc").write_text("")
+    (cache / "stale.py").write_text("")
+    files, errors = iter_python_files([str(tmp_path), str(tmp_path / "a.py")])
+    assert errors == []
+    assert [os.path.basename(f) for f in files] == ["a.py", "b.py"]
+
+
+def test_parse_error_reported_not_fatal(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    (tmp_path / "fine.py").write_text("VALUE = 1\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.files_checked == 2
+    assert [f.code for f in report.findings] == ["RPD000"]
+    assert report.exit_code == 1
+
+
+def test_render_json_stable_shape(tmp_path):
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    report = lint_paths([str(tmp_path)])
+    doc = json.loads(render_json(report))
+    assert list(sorted(doc)) == ["errors", "exit_code", "files_checked", "findings"]

@@ -1,0 +1,194 @@
+"""Runtime sanitizer: env gating, cached-None wiring, per-invariant
+negative tests, and the acceptance run proving every invariant executes
+at least once under ``REPRO_SANITIZE=1`` on a full failure + recovery
+cycle."""
+
+import pytest
+
+from repro.apps import Stencil2D
+from repro.core import ProtocolConfig, build_ft_world
+from repro.core.clustering import block_clusters
+from repro.errors import InvariantViolation
+from repro.lint.sanitize import (
+    AUDIT_INTERVAL,
+    ENV_VAR,
+    INVARIANTS,
+    Sanitizer,
+    sanitize_enabled,
+    sanitizer_for,
+)
+from repro.obs import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Gating
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", True), ("true", True), ("yes", True), ("ON", True),
+    ("0", False), ("false", False), ("no", False), ("off", False),
+    ("", False),
+])
+def test_env_gating(monkeypatch, value, expected):
+    monkeypatch.setenv(ENV_VAR, value)
+    assert sanitize_enabled() is expected
+    assert (sanitizer_for() is not None) is expected
+
+
+def test_unset_env_means_disabled(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert sanitize_enabled() is False
+    assert sanitizer_for() is None
+
+
+def test_override_beats_environment(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "0")
+    assert sanitize_enabled(override=True) is True
+    assert isinstance(sanitizer_for(override=True), Sanitizer)
+    monkeypatch.setenv(ENV_VAR, "1")
+    assert sanitizer_for(override=False) is None
+
+
+def test_components_cache_none_when_disabled(monkeypatch):
+    """The hot paths must see literal None (cached-instrument pattern)."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    world, ctl = _build()
+    assert world.engine._san is None
+    assert all(p.san is None for p in ctl.protocols)
+
+
+# ----------------------------------------------------------------------
+# Per-invariant negative tests (direct method calls with bad inputs)
+# ----------------------------------------------------------------------
+
+def _raises(invariant):
+    return pytest.raises(InvariantViolation, match=rf"sanitizer\[{invariant}\]")
+
+
+def test_logged_cross_epoch_violations():
+    san = Sanitizer()
+    san.logged_cross_epoch(0, 1, 2, True)  # genuine crossing: fine
+    with _raises("logged_cross_epoch"):
+        san.logged_cross_epoch(0, 2, 2, True)  # not a crossing
+    with _raises("logged_cross_epoch"):
+        san.logged_cross_epoch(0, 1, 2, False)  # logging disabled
+
+
+def test_spe_non_logged_violation():
+    san = Sanitizer()
+    san.spe_non_logged(0, 1, 2, 2, True)  # same-epoch: belongs in SPE
+    san.spe_non_logged(0, 1, 1, 2, False)  # crossing but logging off: ok
+    with _raises("spe_non_logged"):
+        san.spe_non_logged(0, 1, 1, 2, True)  # crossing escaped the log
+
+
+def test_phase_lamport_violation():
+    san = Sanitizer()
+    san.phase_lamport(0, 1, 2, 2, False)  # max(1, 2) = 2
+    san.phase_lamport(0, 1, 3, 2, True)   # max(1, 2+1) = 3
+    with _raises("phase_lamport"):
+        san.phase_lamport(0, 1, 5, 2, False)  # overshoot
+    with _raises("phase_lamport"):
+        san.phase_lamport(0, 3, 2, 1, False)  # moved backwards
+
+
+def test_spe_table_ordered_violations():
+    san = Sanitizer()
+    san.spe_table_ordered(0, {1: (0, {1: 1}), 2: (7, {2: 3})})
+    with _raises("spe_table_ordered"):
+        san.spe_table_ordered(0, {1: (10, {1: 1}), 2: (5, {1: 1})})
+    with _raises("spe_table_ordered"):
+        san.spe_table_ordered(0, {1: (0, {2: 0})})  # epoch 0 never received
+
+
+def test_rl_fixpoint_violation():
+    san = Sanitizer()
+    rl = {0: (2, 5), 1: (1, 0)}
+    san.rl_fixpoint_stable(rl, lambda seeds: dict(rl))  # true fix-point
+    with _raises("rl_fixpoint_stable"):
+        san.rl_fixpoint_stable(rl, lambda seeds: {0: (1, 3), 1: (1, 0)})
+
+
+def test_rl_monotone_violation():
+    san = Sanitizer()
+    san.rl_monotone({0: (2, 5)}, {0: 2}, {})
+    san.rl_monotone({0: (2, 5)}, {0: 1}, {0: 2})  # failed-rank bound wins
+    with _raises("rl_monotone"):
+        san.rl_monotone({0: (3, 5)}, {0: 2}, {})
+
+
+def test_engine_pending_audit_violation():
+    san = Sanitizer()
+    san.engine_pending_audit(4, 4)
+    with _raises("engine_pending_audit"):
+        san.engine_pending_audit(5, 6)
+
+
+def test_counts_land_in_checks_and_registry():
+    obs = MetricsRegistry()
+    san = Sanitizer(obs)
+    san.engine_pending_audit(1, 1)
+    san.engine_pending_audit(2, 2)
+    assert san.checks == {"engine_pending_audit": 2}
+    counter = obs.counter("sanitize.checks", ("invariant",))
+    assert counter.get(("engine_pending_audit",)) == 2
+
+
+def test_registry_free_sanitizer_still_counts():
+    san = Sanitizer(None)
+    san.engine_pending_audit(1, 1)
+    assert san.checks["engine_pending_audit"] == 1
+
+
+# ----------------------------------------------------------------------
+# Acceptance: full failure + recovery under REPRO_SANITIZE=1
+# ----------------------------------------------------------------------
+
+def _build(obs=None, fail_at=None):
+    cfg = ProtocolConfig(
+        checkpoint_interval=3e-5,
+        cluster_of=block_clusters(8, 2),
+        cluster_stagger=5e-6,
+        rank_stagger=1e-6,
+    )
+    world, ctl = build_ft_world(
+        8, lambda r, s: Stencil2D(r, s, niters=30, block=3), cfg, obs=obs
+    )
+    if fail_at is not None:
+        ctl.inject_failure(fail_at, 7)
+        ctl.arm()
+    return world, ctl
+
+
+def test_full_run_every_invariant_executes(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "1")
+    obs = MetricsRegistry()
+    world, ctl = _build(obs=obs, fail_at=7e-5)
+    world.launch()
+    world.run()
+    assert len(ctl.recovery_reports) >= 1  # recovery actually happened
+    assert world.engine.events_dispatched >= AUDIT_INTERVAL  # audits fired
+    counter = obs.counter("sanitize.checks", ("invariant",))
+    executed = {name: counter.get((name,)) for name in INVARIANTS}
+    missing = [name for name, n in executed.items() if n < 1]
+    assert not missing, f"invariants never exercised: {missing} ({executed})"
+
+
+def test_sanitized_run_is_execution_transparent(monkeypatch):
+    """The sanitizer observes; it must not perturb the execution."""
+    def signature(world):
+        return (
+            world.tracer.send_sequences(dedup=False),
+            world.engine.now,
+            world.engine.events_dispatched,
+        )
+
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    off, _ = _build(fail_at=7e-5)
+    off.launch()
+    off.run()
+    monkeypatch.setenv(ENV_VAR, "1")
+    on, _ = _build(fail_at=7e-5)
+    on.launch()
+    on.run()
+    assert signature(on) == signature(off)
