@@ -3,9 +3,19 @@
 Send-determinism does not forbid ``MPI_ANY_SOURCE``: it only requires the
 *send* sequence to be independent of reception interleavings.  This kernel
 is the canonical such case — a binomial reduction where each parent
-receives its children's partial sums with ``ANY_SOURCE`` and a commutative
-combine, then forwards one message up.  Reception order varies freely
-(and does vary across network jitter seeds); the sends do not.
+receives its children's partial sums with ``ANY_SOURCE`` and an
+order-insensitive combine, then forwards one message up.  Reception order
+varies freely (and does vary across network jitter seeds); the sends do
+not.
+
+Commutativity alone is *not* enough for that guarantee in floating point:
+``(a + b) + c`` and ``(a + c) + b`` differ in the last ulps, so a running
+sum over an ANY_SOURCE receive loop makes send *contents* depend on
+arrival order — bit-exact send-determinism silently breaks the moment a
+recovery replays children in a different (causally equivalent) order.
+The chaos harness found exactly that; the combine therefore buffers the
+children's values and adds them in sorted order, which is a pure function
+of the value multiset.
 
 Included because the paper's *phase* machinery exists precisely for
 applications with anonymous receives: during recovery, replayed messages
@@ -30,10 +40,11 @@ __all__ = ["ReduceTreeKernel"]
 class ReduceTreeKernel(RankProgram):
     """Repeated binomial all-reduce with ANY_SOURCE parents.
 
-    Each iteration: every rank contributes ``value``; parents sum their
-    children's messages received with ``ANY_SOURCE`` (commutative, so the
-    order is irrelevant); rank 0 broadcasts the total back down the same
-    tree; every rank folds the total into its state.
+    Each iteration: every rank contributes ``value``; parents combine
+    their children's messages received with ``ANY_SOURCE`` in sorted
+    order (order-insensitive despite float non-associativity); rank 0
+    broadcasts the total back down the same tree; every rank folds the
+    total into its state.
     """
 
     TAG_UP = 600
@@ -76,9 +87,15 @@ class ReduceTreeKernel(RankProgram):
         parent = self._parent(api)
         while st["it"] < st["niters"]:
             acc = st["value"] * (st["it"] + 1)
-            # upward pass: ANY_SOURCE — children arrive in any order
+            # upward pass: ANY_SOURCE — children arrive in any order, so
+            # buffer and combine in sorted order (float addition is not
+            # associative; summing in arrival order would leak reception
+            # interleavings into the send contents)
+            parts = []
             for _ in children:
-                acc += yield api.recv(ANY_SOURCE, tag=self.TAG_UP)
+                parts.append((yield api.recv(ANY_SOURCE, tag=self.TAG_UP)))
+            for part in sorted(parts):
+                acc += part
             if self.compute_time:
                 yield api.compute(self.compute_time)
             if parent is not None:

@@ -1,0 +1,228 @@
+"""Seeded chaos campaigns over the sweep executor.
+
+A campaign is ``N`` independent trials, each generated from a per-trial
+seed derived with the same keyed-blake2b scheme as every other sweep in
+the repo (:func:`repro.sweep.task_seed`), executed inline or across a
+process pool with crash isolation, and scored against the four oracles.
+Trial ``i`` of campaign seed ``S`` is the same schedule for any worker
+count, platform or interpreter invocation — a failing trial is quoted by
+``(campaign_seed, index)`` and anyone can replay it.
+
+Failing trials keep their full verdicts, the flight-recorder dump of the
+run, and (optionally) a shrunk minimal reproducer; everything lands in a
+JSON campaign report suitable for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..sweep import SweepResult, SweepTask, run_sweep
+from .oracles import ORACLES
+from .schedule import generate_schedule, schedule_from_json
+from .shrink import shrink_schedule
+from .trial import run_trial
+
+__all__ = ["CampaignReport", "run_campaign", "replay_trial",
+           "schedule_for_trial"]
+
+#: failing trials retained in full (schedule + verdicts + flight dump);
+#: beyond this only the (index, seed, oracles) triple is kept
+MAX_FAILURES_KEPT = 25
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one chaos campaign."""
+
+    seed: int
+    trials: int
+    workers: int
+    passed: int = 0
+    failed: int = 0
+    #: trials whose *harness* crashed (worker exception, not an oracle)
+    errors: int = 0
+    #: oracle name -> number of trials that failed it
+    oracle_failures: dict[str, int] = field(default_factory=dict)
+    #: full records of failing trials (capped at MAX_FAILURES_KEPT)
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    #: (index, seed, failed-oracle list) for every failing trial
+    failure_index: list[dict[str, Any]] = field(default_factory=list)
+    #: shrink results for the first few failures (when shrinking is on)
+    shrunk: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0 and self.errors == 0
+
+    def summary(self) -> str:
+        parts = [f"{self.trials} trials, seed {self.seed}: "
+                 f"{self.passed} passed, {self.failed} failed, "
+                 f"{self.errors} errored"]
+        if self.oracle_failures:
+            per = ", ".join(f"{k}={v}"
+                            for k, v in sorted(self.oracle_failures.items()))
+            parts.append(f"oracle failures: {per}")
+        if self.shrunk:
+            parts.append(f"{len(self.shrunk)} failure(s) shrunk")
+        return "; ".join(parts)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "trials": self.trials,
+            "workers": self.workers,
+            "passed": self.passed,
+            "failed": self.failed,
+            "errors": self.errors,
+            "ok": self.ok,
+            "oracle_failures": dict(sorted(self.oracle_failures.items())),
+            "failure_index": self.failure_index,
+            "failures": self.failures,
+            "shrunk": self.shrunk,
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2)
+            fh.write("\n")
+
+
+def _score(report: CampaignReport, result: SweepResult, obs: Any) -> None:
+    """Fold one sweep result into the report and the obs counters."""
+    index = result.index
+    if not result.ok:
+        report.errors += 1
+        report.failure_index.append(
+            {"index": index, "seed": result.seed, "oracles": ["<harness>"],
+             "error": result.error})
+        if len(report.failures) < MAX_FAILURES_KEPT:
+            report.failures.append(
+                {"index": index, "seed": result.seed, "harness_error": True,
+                 "error": result.error, "traceback": result.traceback})
+        if obs is not None:
+            obs.counter("chaos.trials", ("outcome",)).inc(labels=("error",))
+        return
+
+    trial = result.value  # TrialResult.to_json() payload
+    oracles = trial.get("oracles", {})
+    trial_passed = bool(trial.get("passed"))
+    if obs is not None:
+        obs.counter("chaos.trials", ("outcome",)).inc(
+            labels=("pass" if trial_passed else "fail",))
+        for name in ORACLES:
+            verdict = oracles.get(name)
+            if verdict is None:
+                continue
+            obs.counter("chaos.oracle", ("name", "passed")).inc(
+                labels=(name, bool(verdict.get("passed"))))
+    if trial_passed:
+        report.passed += 1
+        return
+    report.failed += 1
+    failed_names = [n for n in ORACLES
+                    if n in oracles and not oracles[n].get("passed")]
+    for name in failed_names:
+        report.oracle_failures[name] = report.oracle_failures.get(name, 0) + 1
+    report.failure_index.append(
+        {"index": index, "seed": result.seed, "oracles": failed_names})
+    if len(report.failures) < MAX_FAILURES_KEPT:
+        report.failures.append(
+            {"index": index, "seed": result.seed, **trial})
+
+
+def run_campaign(
+    trials: int,
+    seed: int = 0,
+    workers: int = 1,
+    kernels: tuple[str, ...] | None = None,
+    max_failures: int = 4,
+    allow_no_log: bool = True,
+    bug: str = "",
+    shrink: int = 3,
+    shrink_trials: int = 200,
+    obs: Any = None,
+    on_progress: Callable[[SweepResult], None] | None = None,
+    check_determinism: bool = True,
+    sanitize: bool = True,
+) -> CampaignReport:
+    """Run a chaos campaign of ``trials`` seeded trials.
+
+    ``workers <= 1`` runs inline (bit-identical to a loop); more fans out
+    over a process pool with crash isolation — results and the merged
+    observability registry are in task order either way.  ``shrink``
+    bounds how many failing trials get the delta-debugging treatment
+    (0 disables); ``bug`` plants a synthetic defect in *every* trial
+    (harness self-test).  Flight-recorder dumps ride on each failing
+    trial's record via the sweep's per-task registries.
+    """
+    base = {
+        "kernels": list(kernels) if kernels else None,
+        "max_failures": max_failures,
+        "allow_no_log": allow_no_log,
+        "bug": bug,
+        "check_determinism": check_determinism,
+        "sanitize": sanitize,
+    }
+    tasks = [SweepTask(name=f"trial-{i}", params=dict(base))
+             for i in range(trials)]
+    report = CampaignReport(seed=seed, trials=trials, workers=workers)
+    results = run_sweep(
+        run_trial, tasks, workers=workers, base_seed=seed,
+        obs=obs, on_progress=on_progress, collect_obs=True,
+    )
+    for result in results:
+        _score(report, result, obs)
+
+    # shrink the first few oracle failures (serial, in-process)
+    for entry in report.failures[: max(0, shrink)]:
+        if entry.get("harness_error") or "schedule" not in entry:
+            continue
+        schedule = schedule_from_json(entry["schedule"])
+        try:
+            shrunk = shrink_schedule(schedule, max_trials=shrink_trials)
+        except Exception as exc:  # noqa: BLE001 — shrinking is best-effort
+            report.shrunk.append(
+                {"index": entry["index"], "error": f"shrink failed: {exc!r}"})
+            continue
+        report.shrunk.append({"index": entry["index"], **shrunk.to_json()})
+    return report
+
+
+def replay_trial(campaign_seed: int, index: int,
+                 kernels: tuple[str, ...] | None = None,
+                 max_failures: int = 4, allow_no_log: bool = True,
+                 bug: str = "") -> dict[str, Any]:
+    """Re-run exactly one campaign trial by (campaign seed, index).
+
+    Reconstructs the schedule through the same ``task_seed`` derivation
+    the campaign used, so the trial quoted in a CI report can be replayed
+    locally with nothing but the two integers.
+    """
+    from ..sweep import task_seed
+
+    params = {
+        "seed": task_seed(campaign_seed, index, f"trial-{index}"),
+        "kernels": list(kernels) if kernels else None,
+        "max_failures": max_failures,
+        "allow_no_log": allow_no_log,
+        "bug": bug,
+    }
+    return run_trial(params)
+
+
+def schedule_for_trial(campaign_seed: int, index: int,
+                       kernels: tuple[str, ...] | None = None,
+                       max_failures: int = 4,
+                       allow_no_log: bool = True,
+                       bug: str = ""):
+    """The schedule campaign trial ``(campaign_seed, index)`` runs."""
+    from ..sweep import task_seed
+
+    return generate_schedule(
+        task_seed(campaign_seed, index, f"trial-{index}"),
+        kernels=kernels, max_failures=max_failures,
+        allow_no_log=allow_no_log, bug=bug,
+    )

@@ -1,0 +1,154 @@
+"""Validity oracles for chaos trials.
+
+Every trial must pass **all four** oracles, each a concrete, checkable
+form of the paper's guarantees:
+
+``settles``
+    Recovery terminates: the run completes with every rank's program
+    finished — no deadlock, no stalled recovery round, no protocol or
+    simulation error (Theorem 1's "the protocol always terminates").
+``validity``
+    The recovered execution is *valid* in the sense of Definition 1:
+    every rank's logical send sequence and final application state match
+    a failure-free reference execution
+    (:func:`repro.analysis.validity.compare_executions`).
+``sanitize``
+    The run stayed clean under ``REPRO_SANITIZE=1``: none of the seven
+    live protocol invariants (logged-iff-cross-epoch, SPE consistency,
+    phase Lamport monotonicity, recovery-line fix-point stability, ...)
+    raised :class:`~repro.errors.InvariantViolation`.
+``determinism``
+    A bit-identical re-run of the same (seed, schedule) produces the
+    same recovered execution: identical send sequences, final virtual
+    time, recovery rounds, rollback sets and application results — the
+    recovered execution itself is send-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..analysis.validity import compare_executions
+
+__all__ = ["ORACLES", "OracleResult", "TrialResult",
+           "oracle_validity", "run_digest", "oracle_determinism"]
+
+#: the four oracles, in evaluation order
+ORACLES = ("settles", "validity", "sanitize", "determinism")
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Outcome of one oracle on one trial."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {"name": self.name, "passed": self.passed, "detail": self.detail}
+
+
+@dataclass
+class TrialResult:
+    """Everything one chaos trial produced."""
+
+    schedule: Any  # TrialSchedule (kept untyped to avoid an import cycle)
+    oracles: dict[str, OracleResult] = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
+    #: JSONL flight-record dump, attached only when an oracle failed
+    flight_jsonl: str | None = None
+    #: traceback of the exception that broke the run, if any
+    traceback: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return all(o.passed for o in self.oracles.values())
+
+    def failed_oracles(self) -> list[str]:
+        return [n for n in ORACLES
+                if n in self.oracles and not self.oracles[n].passed]
+
+    def oracle_passed(self, name: str) -> bool:
+        res = self.oracles.get(name)
+        return res is not None and res.passed
+
+    def detail(self, name: str) -> str:
+        res = self.oracles.get(name)
+        return res.detail if res is not None else "<oracle not evaluated>"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schedule": self.schedule.to_json(),
+            "passed": self.passed,
+            "oracles": {n: o.to_json() for n, o in self.oracles.items()},
+            "stats": self.stats,
+            "flight_jsonl": self.flight_jsonl,
+            "traceback": self.traceback,
+        }
+
+
+# ----------------------------------------------------------------------
+def oracle_validity(ref_world: Any, world: Any,
+                    check_results: bool = True) -> OracleResult:
+    """Definition 1 against the failure-free reference.
+
+    ``check_results=False`` for kernels whose ``result()`` is a
+    virtual-time measurement (send sequences/contents still checked)."""
+    report = compare_executions(ref_world, world,
+                                check_results=check_results)
+    return OracleResult("validity", report.valid, report.summary())
+
+
+def _digest_value(value: Any) -> Any:
+    """Hashable, bit-exact digest of an application result."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _digest_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_digest_value(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return (value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def run_digest(world: Any, controller: Any) -> dict[str, Any]:
+    """Bit-exact summary of one recovered execution, for the determinism
+    oracle.  Everything here must be identical between two runs of the
+    same (seed, schedule) — virtual times included."""
+    try:
+        sequences = world.tracer.logical_send_sequences()
+    except Exception as exc:  # SendDeterminismError — validity reports it
+        sequences = f"<unavailable: {exc}>"
+    return {
+        "final_time": world.engine.now,
+        "sequences": sequences,
+        "results": [_digest_value(p.result()) for p in world.programs],
+        "rounds": [
+            (r.round_no, tuple(r.failed), tuple(sorted(r.rolled_back)))
+            for r in controller.recovery_reports
+        ],
+        "messages_sent": world.network.messages_sent,
+        "fired": [(e.rank, e.time) for e in controller.injector.fired],
+    }
+
+
+def oracle_determinism(first: dict[str, Any],
+                       second: dict[str, Any]) -> OracleResult:
+    """Compare two :func:`run_digest` summaries field by field."""
+    for key in ("final_time", "messages_sent", "rounds", "fired",
+                "sequences", "results"):
+        a, b = first.get(key), second.get(key)
+        if a != b:
+            detail = f"re-run diverged in {key!r}"
+            if key in ("final_time", "messages_sent"):
+                detail += f": {a!r} vs {b!r}"
+            elif key == "rounds":
+                detail += f": {a!r} vs {b!r}"
+            return OracleResult("determinism", False, detail)
+    return OracleResult("determinism", True,
+                        "re-run bit-identical (times, sequences, results)")

@@ -1,0 +1,349 @@
+"""Seeded random failure schedules for the chaos campaign.
+
+A :class:`TrialSchedule` is the complete, JSON-able description of one
+chaos trial: which app kernel runs, at what scale, under which protocol
+configuration axes (clustering, ack batching, checkpoint jitter,
+epoch-crossing logging), and which fail-stop failures hit it — varied in
+rank, multiplicity, placement in virtual time *and* logical placement
+(``after_sends``, during the post-failure network drain, during an
+in-flight recovery round, immediately after a restore).
+
+Schedules are generated from a seed with :func:`generate_schedule`; the
+campaign derives per-trial seeds with the same keyed blake2b scheme as
+:func:`repro.sweep.task_seed`, so trial ``i`` of campaign seed ``S`` is
+identical across processes, worker counts and interpreter invocations.
+Everything here is pure data + a seeded :class:`random.Random` — no
+simulation — which is what lets the shrinker rewrite schedules freely and
+re-run them through :func:`repro.chaos.trial.run_trial_schedule`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from ..apps import (
+    CGKernel,
+    LUKernel,
+    PingPong,
+    ReduceTreeKernel,
+    Stencil1D,
+    Stencil2D,
+)
+from ..errors import ConfigError
+
+__all__ = [
+    "FailureSpec",
+    "TrialSchedule",
+    "KERNELS",
+    "PLACEMENT_KINDS",
+    "generate_schedule",
+    "schedule_from_json",
+    "with_failures",
+]
+
+#: logical placements of one failure event.  ``at`` is an absolute point
+#: (fraction of the failure-free horizon); the window kinds anchor to the
+#: previous event's absolute time, landing in the drain window, inside the
+#: recovery round, or right after the restored ranks resume.
+PLACEMENT_KINDS = ("at", "drain", "recovery", "restored", "after_sends")
+
+#: anchor offset windows (virtual seconds) for the relative placements;
+#: drain polls run every 1e-6 s and a recovery round spans ~1e-5..1e-4 s
+#: at campaign scale, so the three windows straddle the round's phases.
+_WINDOWS = {
+    "drain": (1e-7, 3e-6),
+    "recovery": (3e-6, 6e-5),
+    "restored": (6e-5, 3e-4),
+}
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """One scheduled fail-stop failure inside a trial.
+
+    ``frac`` is used by ``at`` (fraction of the horizon); ``delta`` by the
+    anchored kinds (offset after the previous event's absolute time);
+    ``nsends`` by ``after_sends`` (kill after the Nth application send,
+    resolved modulo the rank's actual send count at trial time).
+    """
+
+    rank: int
+    kind: str = "at"
+    frac: float = 0.5
+    delta: float = 0.0
+    nsends: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {"rank": self.rank, "kind": self.kind, "frac": self.frac,
+                "delta": self.delta, "nsends": self.nsends}
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "FailureSpec":
+        return FailureSpec(
+            rank=int(data["rank"]), kind=str(data.get("kind", "at")),
+            frac=float(data.get("frac", 0.5)),
+            delta=float(data.get("delta", 0.0)),
+            nsends=int(data.get("nsends", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class _KernelInfo:
+    """How to instantiate one app kernel at campaign scale."""
+
+    nprocs_choices: tuple[int, ...]
+    make: Callable[[int], Callable[[int, int], Any]]  # niters -> factory
+    #: ``result()`` reports virtual-time measurements (latency), which
+    #: legitimately change once a recovery stretches the clock — the
+    #: validity oracle then checks send sequences/contents only
+    timing_result: bool = False
+
+
+#: the campaign's kernel pool.  Payloads are kept small — chaos trials buy
+#: coverage with many runs, not big runs.
+KERNELS: dict[str, _KernelInfo] = {
+    "stencil": _KernelInfo(
+        (4, 5, 6, 8),
+        lambda niters: lambda r, s: Stencil1D(r, s, niters=niters, cells=4),
+    ),
+    "stencil2d": _KernelInfo(
+        (4, 6, 8),
+        lambda niters: lambda r, s: Stencil2D(r, s, niters=niters, block=3),
+    ),
+    "cg": _KernelInfo(
+        (4, 8),
+        lambda niters: lambda r, s: CGKernel(r, s, niters=niters, block=4),
+    ),
+    "lu": _KernelInfo(
+        (4, 6),
+        lambda niters: lambda r, s: LUKernel(
+            r, s, niters=max(2, niters // 4), nblocks=3, block=4
+        ),
+    ),
+    "reduce": _KernelInfo(
+        (4, 6, 8),
+        lambda niters: lambda r, s: ReduceTreeKernel(r, s, niters=niters),
+    ),
+    "pingpong": _KernelInfo(
+        (2, 4),
+        lambda niters: lambda r, s: PingPong(
+            r, s, sizes=[64, 1024, 8192], reps=max(2, niters // 8)
+        ),
+        timing_result=True,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TrialSchedule:
+    """Everything one chaos trial needs, as plain data."""
+
+    seed: int
+    kernel: str = "stencil"
+    nprocs: int = 6
+    niters: int = 24
+    clusters: int = 1
+    ack_batch: int = 1
+    checkpoint_interval: float = 2e-5
+    checkpoint_jitter: float = 0.0
+    checkpoint_seed: int = 0
+    log_cross_epoch: bool = True
+    cluster_stagger: float = 0.0
+    rank_stagger: float = 2e-6
+    #: run a deferred garbage-collection pass every ``gc_frac`` of the
+    #: horizon (0 disables) — exercises the mid-round GC guard
+    gc_frac: float = 0.0
+    failures: tuple[FailureSpec, ...] = ()
+    #: synthetic protocol bug to plant (shrinker self-test; "" = none)
+    bug: str = ""
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        info = KERNELS.get(self.kernel)
+        if info is None:
+            raise ConfigError(f"unknown chaos kernel {self.kernel!r}")
+        if self.nprocs < 2:
+            raise ConfigError("chaos trials need at least 2 ranks")
+        if not 1 <= self.clusters <= self.nprocs:
+            raise ConfigError("clusters must be in [1, nprocs]")
+        if self.nprocs % self.clusters:
+            raise ConfigError("clusters must divide nprocs (block clustering)")
+        if self.gc_frac and not self.log_cross_epoch:
+            raise ConfigError(
+                "gc_frac requires log_cross_epoch=True (GC is unsound "
+                "under unbounded domino rollback)")
+        for spec in self.failures:
+            if not 0 <= spec.rank < self.nprocs:
+                raise ConfigError(f"failure rank {spec.rank} out of range")
+            if spec.kind not in PLACEMENT_KINDS:
+                raise ConfigError(f"unknown placement kind {spec.kind!r}")
+
+    def factory(self) -> Callable[[int, int], Any]:
+        return KERNELS[self.kernel].make(self.niters)
+
+    def describe(self) -> str:
+        axes = (
+            f"{self.kernel}/{self.nprocs}r it={self.niters} "
+            f"cl={self.clusters} ack={self.ack_batch} "
+            f"jit={self.checkpoint_jitter:g} log={int(self.log_cross_epoch)}"
+        )
+        evs = ", ".join(
+            f"{s.kind}:{s.rank}"
+            + (f"@{s.frac:.3f}" if s.kind == "at"
+               else f"#{s.nsends}" if s.kind == "after_sends"
+               else f"+{s.delta:.2e}")
+            for s in self.failures
+        )
+        return f"{axes} [{evs or 'no failures'}]" + (
+            f" bug={self.bug}" if self.bug else ""
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed, "kernel": self.kernel, "nprocs": self.nprocs,
+            "niters": self.niters, "clusters": self.clusters,
+            "ack_batch": self.ack_batch,
+            "checkpoint_interval": self.checkpoint_interval,
+            "checkpoint_jitter": self.checkpoint_jitter,
+            "checkpoint_seed": self.checkpoint_seed,
+            "log_cross_epoch": self.log_cross_epoch,
+            "cluster_stagger": self.cluster_stagger,
+            "rank_stagger": self.rank_stagger,
+            "gc_frac": self.gc_frac,
+            "failures": [s.to_json() for s in self.failures],
+            "bug": self.bug,
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "TrialSchedule":
+        return schedule_from_json(data)
+
+
+def schedule_from_json(data: dict[str, Any]) -> TrialSchedule:
+    """Rebuild a schedule from :meth:`TrialSchedule.to_json` output."""
+    sched = TrialSchedule(
+        seed=int(data["seed"]),
+        kernel=str(data.get("kernel", "stencil")),
+        nprocs=int(data.get("nprocs", 6)),
+        niters=int(data.get("niters", 24)),
+        clusters=int(data.get("clusters", 1)),
+        ack_batch=int(data.get("ack_batch", 1)),
+        checkpoint_interval=float(data.get("checkpoint_interval", 2e-5)),
+        checkpoint_jitter=float(data.get("checkpoint_jitter", 0.0)),
+        checkpoint_seed=int(data.get("checkpoint_seed", 0)),
+        log_cross_epoch=bool(data.get("log_cross_epoch", True)),
+        cluster_stagger=float(data.get("cluster_stagger", 0.0)),
+        rank_stagger=float(data.get("rank_stagger", 2e-6)),
+        gc_frac=float(data.get("gc_frac", 0.0)),
+        failures=tuple(
+            FailureSpec.from_json(s) for s in data.get("failures", ())
+        ),
+        bug=str(data.get("bug", "")),
+    )
+    sched.validate()
+    return sched
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def generate_schedule(
+    seed: int,
+    kernels: tuple[str, ...] | None = None,
+    max_failures: int = 4,
+    allow_no_log: bool = True,
+    bug: str = "",
+) -> TrialSchedule:
+    """Draw one trial schedule from ``seed``.
+
+    Every draw comes from one seeded :class:`random.Random`, so the
+    mapping seed -> schedule is a pure function (the determinism oracle
+    and the shrinker both rely on it).  ``kernels`` restricts the kernel
+    pool; ``allow_no_log=False`` removes the plain-uncoordinated
+    degradation axis (``log_cross_epoch=False``).
+    """
+    rng = random.Random(seed)
+    pool = tuple(kernels) if kernels else tuple(sorted(KERNELS))
+    for name in pool:
+        if name not in KERNELS:
+            raise ConfigError(f"unknown chaos kernel {name!r}")
+    kernel = rng.choice(pool)
+    info = KERNELS[kernel]
+    nprocs = rng.choice(info.nprocs_choices)
+    niters = rng.randrange(16, 40)
+
+    # --- config axes -------------------------------------------------
+    # block clustering needs nclusters | nprocs; draw from the divisors
+    divisors = [d for d in (2, 3, 4) if nprocs % d == 0]
+    clusters = rng.choice([1, 1] + divisors + [nprocs // 2]
+                          if nprocs % 2 == 0 else [1, 1] + divisors)
+    ack_batch = rng.choice([1, 1, 2, 4])
+    interval = rng.choice([1.5e-5, 2e-5, 3e-5])
+    jitter = rng.choice([0.0, 0.0, 0.15, 0.3])
+    log_cross_epoch = not (allow_no_log and rng.random() < 0.08)
+    cluster_stagger = rng.choice([0.0, 5e-6]) if clusters > 1 else 0.0
+    rank_stagger = rng.choice([0.0, 1e-6, 3e-6])
+    # GC is provably unsound in plain-uncoordinated mode (unbounded
+    # domino) — the controller refuses the combination
+    gc_frac = (rng.choice([0.0, 0.0, 0.0, 0.25, 0.4])
+               if log_cross_epoch else 0.0)
+
+    # --- failure events ----------------------------------------------
+    nfail = rng.randrange(1, max_failures + 1)
+    failures: list[FailureSpec] = []
+    for i in range(nfail):
+        rank = rng.randrange(nprocs)
+        if i == 0:
+            # the first event anchors the trial: absolute or logical
+            if rng.random() < 0.25:
+                failures.append(FailureSpec(
+                    rank, "after_sends", nsends=rng.randrange(1, 200)))
+            else:
+                failures.append(FailureSpec(
+                    rank, "at", frac=rng.uniform(0.15, 0.8)))
+            continue
+        kind = rng.choice(
+            ["at", "at", "drain", "recovery", "recovery", "restored",
+             "restored", "after_sends"]
+        )
+        if kind == "at":
+            # occasionally an (intended-)concurrent partner: same frac
+            # through arithmetic that lands a few ulps away
+            if failures[0].kind == "at" and rng.random() < 0.4:
+                base = failures[0].frac
+                frac = (base * 3.0) / 3.0 + rng.choice([0.0, 1e-16, -1e-16])
+                failures.append(FailureSpec(rank, "at", frac=frac))
+            else:
+                failures.append(FailureSpec(
+                    rank, "at", frac=rng.uniform(0.15, 0.85)))
+        elif kind == "after_sends":
+            failures.append(FailureSpec(
+                rank, "after_sends", nsends=rng.randrange(1, 200)))
+        else:
+            lo, hi = _WINDOWS[kind]
+            if kind == "restored" and rng.random() < 0.5:
+                # deliberately re-kill a rank that just failed: the
+                # just-restored-rank corner
+                rank = rng.choice([s.rank for s in failures])
+            failures.append(FailureSpec(
+                rank, kind, delta=rng.uniform(lo, hi)))
+
+    sched = TrialSchedule(
+        seed=seed, kernel=kernel, nprocs=nprocs, niters=niters,
+        clusters=clusters, ack_batch=ack_batch,
+        checkpoint_interval=interval, checkpoint_jitter=jitter,
+        checkpoint_seed=seed & 0xFFFF, log_cross_epoch=log_cross_epoch,
+        cluster_stagger=cluster_stagger, rank_stagger=rank_stagger,
+        gc_frac=gc_frac, failures=tuple(failures), bug=bug,
+    )
+    sched.validate()
+    return sched
+
+
+def with_failures(sched: TrialSchedule,
+                  failures: tuple[FailureSpec, ...]) -> TrialSchedule:
+    """Schedule with a replaced failure list (shrinker helper)."""
+    return replace(sched, failures=failures)

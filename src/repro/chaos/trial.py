@@ -1,0 +1,394 @@
+"""Run one chaos trial: schedule -> simulated runs -> oracle verdicts.
+
+A trial is three simulated executions of the same configuration:
+
+1. a **failure-free reference** (fixes the virtual horizon, provides the
+   validity baseline and the per-rank send totals that resolve
+   ``after_sends`` placements);
+2. the **chaos run** — the reference configuration plus the schedule's
+   failures, executed under ``REPRO_SANITIZE=1`` so the live protocol
+   invariants are armed;
+3. a **bit-identical re-run** of the chaos run for the determinism
+   oracle.
+
+:func:`run_trial` is the module-level sweep entry point (picklable, takes
+one parameter mapping, returns plain data) used by
+:func:`repro.chaos.campaign.run_campaign`;
+:func:`run_trial_schedule` is the in-process API the shrinker and the
+minimized pytest reproducers call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import traceback as _traceback
+from typing import Any, Iterator
+
+from ..core import ProtocolConfig, build_ft_world
+from ..core.clustering import block_clusters
+from ..errors import InvariantViolation, ProtocolError
+from ..lint.sanitize import ENV_VAR as _SANITIZE_ENV
+from .oracles import (
+    OracleResult,
+    TrialResult,
+    oracle_determinism,
+    oracle_validity,
+    run_digest,
+)
+from .schedule import (
+    KERNELS,
+    TrialSchedule,
+    generate_schedule,
+    schedule_from_json,
+)
+
+__all__ = ["run_trial", "run_trial_schedule", "SYNTHETIC_BUGS"]
+
+#: available synthetic protocol bugs (shrinker self-test / harness
+#: self-validation); each entry documents what the bug breaks
+SYNTHETIC_BUGS = {
+    "ack_drop": ("sender treats every 3rd acknowledgement as cumulative, "
+                 "dropping every outstanding NonAck record for that peer"),
+    "log_drop": "sender-based log loses every 2nd logged message",
+    "restore_corrupt": "restored app state is perturbed by 1e-3",
+}
+
+
+@contextlib.contextmanager
+def _sanitize_env(enabled: bool) -> Iterator[None]:
+    """Temporarily force ``REPRO_SANITIZE`` for world construction (every
+    component snapshots sanitizer state at construction time)."""
+    if not enabled:
+        yield
+        return
+    old = os.environ.get(_SANITIZE_ENV)
+    os.environ[_SANITIZE_ENV] = "1"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(_SANITIZE_ENV, None)
+        else:
+            os.environ[_SANITIZE_ENV] = old
+
+
+def _config(schedule: TrialSchedule) -> ProtocolConfig:
+    cluster_of = (
+        block_clusters(schedule.nprocs, schedule.clusters)
+        if schedule.clusters > 1 else None
+    )
+    return ProtocolConfig(
+        checkpoint_interval=schedule.checkpoint_interval,
+        checkpoint_jitter=schedule.checkpoint_jitter,
+        checkpoint_seed=schedule.checkpoint_seed,
+        cluster_of=cluster_of,
+        cluster_stagger=schedule.cluster_stagger,
+        rank_stagger=schedule.rank_stagger,
+        ack_batch=schedule.ack_batch,
+        log_cross_epoch=schedule.log_cross_epoch,
+    )
+
+
+# ----------------------------------------------------------------------
+# Synthetic bugs
+# ----------------------------------------------------------------------
+def _plant_bug(world: Any, controller: Any, bug: str) -> None:
+    """Install a deliberate protocol defect for harness self-tests.
+
+    The bugs are small monkey-patches at well-understood protocol points;
+    each reliably breaks at least one oracle once a failure fires, which
+    is what the shrinker needs to minimize against.
+    """
+    if not bug:
+        return
+    if bug == "ack_drop":
+        # Merely *losing* acks is benign by design (NonAck re-send plus
+        # duplicate suppression absorb it), so the self-test defect is the
+        # classic coalesced-ack range bug instead: every 3rd ack is treated
+        # as cumulative and clears ALL outstanding NonAck records for that
+        # peer.  An un-acked message dropped this way is gone from both the
+        # log path and the recovery re-send path.
+        for proto in controller.protocols:
+            counter = {"n": 0}
+
+            def overclearing(src, payload, _orig=proto._on_ack, _p=proto,
+                             _c=counter):
+                _c["n"] += 1
+                _orig(src, payload)
+                if _c["n"] % 3 == 0:
+                    st = _p.state
+                    st.non_ack[:] = [pa for pa in st.non_ack if pa.dst != src]
+
+            proto._on_ack = overclearing
+    elif bug == "log_drop":
+        for proto in controller.protocols:
+            state = proto.state
+            counter = {"n": 0}
+
+            class _LossyLogs(list):
+                def append(self, item, _c=counter):  # type: ignore[override]
+                    _c["n"] += 1
+                    if _c["n"] % 2 == 0:
+                        return  # logged message silently lost
+                    list.append(self, item)
+
+            state.logs = _LossyLogs(state.logs)
+    elif bug == "restore_corrupt":
+        orig = controller._install_checkpoint
+
+        def corrupting(rank, ckpt, was_killed):
+            orig(rank, ckpt, was_killed)
+            _perturb_state(world.programs[rank])
+
+        controller._install_checkpoint = corrupting
+    else:
+        raise ValueError(f"unknown synthetic bug {bug!r} "
+                         f"(have {sorted(SYNTHETIC_BUGS)})")
+
+
+def _perturb_state(program: Any) -> None:
+    """Nudge the first float field of a program's state dict."""
+    import numpy as np
+
+    state = getattr(program, "state", None)
+    if not isinstance(state, dict):
+        return
+    for key in sorted(state):
+        value = state[key]
+        if isinstance(value, np.ndarray) and value.dtype.kind == "f":
+            state[key] = value + 1e-3
+            return
+        if isinstance(value, float):
+            state[key] = value + 1e-3
+            return
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _run_reference(schedule: TrialSchedule, sanitize: bool):
+    with _sanitize_env(sanitize):
+        world, controller = build_ft_world(
+            schedule.nprocs, schedule.factory(), _config(schedule)
+        )
+        world.launch()
+        world.run()
+    return world, controller
+
+
+def _inject_schedule(schedule: TrialSchedule, controller: Any,
+                     ref_world: Any, horizon: float) -> dict[str, Any]:
+    """Install the schedule's failures; returns placement diagnostics."""
+    injector = controller.injector
+    assert injector is not None
+    resolved: list[dict[str, Any]] = []
+    last_time = 0.4 * horizon  # anchor for relative events that lost their
+    #                            predecessor (e.g. after shrinking)
+    for spec in schedule.failures:
+        if spec.kind == "after_sends":
+            total = ref_world.procs[spec.rank].app_messages_sent
+            if total < 1:
+                resolved.append({"rank": spec.rank, "kind": spec.kind,
+                                 "skipped": "rank never sends"})
+                continue
+            nsends = 1 + (spec.nsends - 1) % total
+            injector.after_sends(spec.rank, nsends)
+            resolved.append({"rank": spec.rank, "kind": spec.kind,
+                             "nsends": nsends})
+            continue
+        if spec.kind == "at":
+            time = spec.frac * horizon
+        else:  # drain / recovery / restored: anchored to the previous event
+            time = last_time + spec.delta
+        injector.at(time, spec.rank)
+        last_time = time
+        resolved.append({"rank": spec.rank, "kind": spec.kind, "time": time})
+    injector.arm()
+    return {"placements": resolved}
+
+
+def _run_chaos(schedule: TrialSchedule, ref_world: Any, horizon: float,
+               obs: Any, sanitize: bool):
+    """One chaos execution.  Returns (world, controller, exception)."""
+    with _sanitize_env(sanitize):
+        kwargs = {"obs": obs} if obs is not None else {}
+        world, controller = build_ft_world(
+            schedule.nprocs, schedule.factory(), _config(schedule), **kwargs
+        )
+        placements = _inject_schedule(schedule, controller, ref_world, horizon)
+        _plant_bug(world, controller, schedule.bug)
+        if schedule.gc_frac:
+            period = schedule.gc_frac * horizon
+
+            def gc_tick():
+                controller.collect_garbage(defer=True)
+                if not world.all_done:
+                    world.engine.schedule(period, gc_tick)
+
+            world.engine.schedule_at(period, gc_tick)
+        world.launch()
+        exc: BaseException | None = None
+        # A defective protocol can livelock (e.g. an endless replay /
+        # re-ack cycle) and generate events forever; the failure-free
+        # reference bounds how much work a sane recovery can possibly
+        # need, so anything far past it fails ``settles`` instead of
+        # hanging the campaign.
+        budget = 100_000 + 60 * ref_world.engine.events_dispatched
+        try:
+            world.engine.run(max_events=budget)
+            if not world.all_done and world.engine._peek_time() != float("inf"):
+                raise ProtocolError(
+                    f"chaos run still busy after {budget} events "
+                    f"(reference needed "
+                    f"{ref_world.engine.events_dispatched}) — livelock"
+                )
+            world.run()  # queue is drained: raises DeadlockError with
+            #              per-rank diagnostics if any rank is stuck
+        except Exception as err:  # noqa: BLE001 — the oracle wants the error
+            exc = err
+    return world, controller, exc, placements
+
+
+def run_trial_schedule(
+    schedule: TrialSchedule,
+    obs: Any = None,
+    sanitize: bool = True,
+    check_determinism: bool = True,
+) -> TrialResult:
+    """Execute one schedule and evaluate the four oracles.
+
+    ``obs`` (a :class:`repro.obs.MetricsRegistry`) instruments the chaos
+    run; its flight-record stream is attached to the result when an
+    oracle fails.  ``sanitize=False`` drops oracle 3 (useful inside the
+    shrinker where speed matters more than invariant coverage);
+    ``check_determinism=False`` drops the re-run (oracle 4).
+    """
+    schedule.validate()
+    result = TrialResult(schedule=schedule)
+    try:
+        ref_world, _ref_ctl = _run_reference(schedule, sanitize)
+    except Exception as err:  # noqa: BLE001
+        # the reference must never fail — if it does, the trial is broken
+        # before any failure was injected
+        result.oracles["settles"] = OracleResult(
+            "settles", False, f"reference run failed: {err!r}")
+        result.traceback = _traceback.format_exc()
+        return result
+    horizon = ref_world.engine.now
+
+    world, controller, exc, placements = _run_chaos(
+        schedule, ref_world, horizon, obs, sanitize
+    )
+    result.stats = {
+        "horizon": horizon,
+        "final_time": world.engine.now,
+        "failures_fired": len(controller.injector.fired),
+        "fired": [(e.rank, e.time) for e in controller.injector.fired],
+        "recovery_rounds": len(controller.recovery_reports),
+        "rolled_back": sorted(
+            {r for rep in controller.recovery_reports for r in rep.rolled_back}
+        ),
+        "log_fraction": controller.logging_stats()["log_fraction"],
+        **placements,
+    }
+
+    # Oracle 1+3: the run either settled, tripped an invariant, or broke.
+    if isinstance(exc, InvariantViolation):
+        result.oracles["settles"] = OracleResult(
+            "settles", False, "run aborted by sanitizer")
+        result.oracles["sanitize"] = OracleResult("sanitize", False, str(exc))
+        result.traceback = _format_exc(exc)
+    elif exc is not None:
+        result.oracles["settles"] = OracleResult(
+            "settles", False, f"{type(exc).__name__}: {exc}")
+        if sanitize:
+            result.oracles["sanitize"] = OracleResult(
+                "sanitize", True, "no invariant violation before the crash")
+        result.traceback = _format_exc(exc)
+    else:
+        result.oracles["settles"] = OracleResult(
+            "settles", True,
+            f"{len(controller.recovery_reports)} recovery round(s), "
+            f"all ranks finished")
+        if sanitize:
+            checks = getattr(world.engine, "_san", None)
+            ticks = sum(checks.checks.values()) if checks is not None else 0
+            result.oracles["sanitize"] = OracleResult(
+                "sanitize", True, f"clean ({ticks} engine-side checks)")
+
+    # Oracle 2: validity against the reference (only meaningful if the
+    # run completed).
+    if exc is None:
+        result.oracles["validity"] = oracle_validity(
+            ref_world, world,
+            check_results=not KERNELS[schedule.kernel].timing_result,
+        )
+    else:
+        result.oracles["validity"] = OracleResult(
+            "validity", False, "not evaluated: run did not settle")
+
+    # Oracle 4: bit-identical re-run.
+    if check_determinism and exc is None:
+        first = run_digest(world, controller)
+        world2, controller2, exc2, _ = _run_chaos(
+            schedule, ref_world, horizon, None, sanitize
+        )
+        if exc2 is not None:
+            result.oracles["determinism"] = OracleResult(
+                "determinism", False,
+                f"re-run failed where the first run settled: {exc2!r}")
+        else:
+            result.oracles["determinism"] = oracle_determinism(
+                first, run_digest(world2, controller2)
+            )
+    elif check_determinism:
+        result.oracles["determinism"] = OracleResult(
+            "determinism", False, "not evaluated: run did not settle")
+
+    if not result.passed and obs is not None and getattr(obs, "enabled", False):
+        from ..obs.export import dump_flight
+
+        try:
+            result.flight_jsonl = dump_flight(obs, "jsonl")
+        except Exception:  # noqa: BLE001 — diagnostics must not mask verdicts
+            result.flight_jsonl = None
+    return result
+
+
+def _format_exc(exc: BaseException) -> str:
+    return "".join(
+        _traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep entry point
+# ----------------------------------------------------------------------
+def run_trial(params: dict[str, Any]) -> dict[str, Any]:
+    """One campaign trial (module-level so sweeps can pickle it).
+
+    ``params`` carries either an explicit ``schedule`` (JSON mapping, as
+    produced by :meth:`TrialSchedule.to_json` — used by reproducers) or
+    generator options; the sweep-injected ``seed`` drives
+    :func:`generate_schedule` so trial ``i`` is a pure function of the
+    campaign seed.
+    """
+    if params.get("schedule") is not None:
+        schedule = schedule_from_json(params["schedule"])
+    else:
+        kernels = params.get("kernels")
+        schedule = generate_schedule(
+            params["seed"],
+            kernels=tuple(kernels) if kernels else None,
+            max_failures=int(params.get("max_failures", 4)),
+            allow_no_log=bool(params.get("allow_no_log", True)),
+            bug=str(params.get("bug", "")),
+        )
+    result = run_trial_schedule(
+        schedule,
+        obs=params.get("obs"),
+        sanitize=bool(params.get("sanitize", True)),
+        check_determinism=bool(params.get("check_determinism", True)),
+    )
+    return result.to_json()

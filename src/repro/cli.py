@@ -29,6 +29,7 @@ Each command prints the paper-style output the benchmarks save under
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Sequence
@@ -135,6 +136,43 @@ def build_parser() -> argparse.ArgumentParser:
                           "trace-event JSON instead)")
     obs.add_argument("--flight-out", default=None,
                      help="write the flight-record stream (JSONL/CSV) here")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded failure-schedule fuzzing: random kernels, config axes "
+             "and failure placements, four validity oracles per trial, "
+             "delta-debugging shrinker for failures",
+    )
+    chaos.add_argument("--trials", type=int, default=100)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; trial i is a pure function of "
+                            "(seed, i) for any worker count")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="fan trials across N worker processes "
+                            "(1 = inline, verdicts identical either way)")
+    chaos.add_argument("--kernels", nargs="+", default=None,
+                       help="restrict the kernel pool (default: all)")
+    chaos.add_argument("--max-failures", type=int, default=4,
+                       help="max failure events per trial schedule")
+    chaos.add_argument("--no-domino-axis", action="store_true",
+                       help="drop the log_cross_epoch=False axis (plain "
+                            "uncoordinated degradation) from the generator")
+    chaos.add_argument("--bug", default="",
+                       help="plant a synthetic protocol bug in every trial "
+                            "(harness self-test; see repro.chaos."
+                            "SYNTHETIC_BUGS)")
+    chaos.add_argument("--shrink", type=int, default=3,
+                       help="delta-debug at most N failing trials down to "
+                            "minimal reproducers (0 disables)")
+    chaos.add_argument("--replay", type=int, default=None, metavar="INDEX",
+                       help="re-run exactly one campaign trial by index and "
+                            "print its verdicts as JSON")
+    chaos.add_argument("--out", default=None,
+                       help="write the JSON campaign report here")
+    chaos.add_argument("--failures-dir", default=None,
+                       help="write per-failure artifacts (schedule JSON, "
+                            "flight-recorder dump, shrunk pytest "
+                            "reproducers) into this directory")
 
     lint = sub.add_parser(
         "lint",
@@ -525,6 +563,84 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos campaign; exit 0 when every trial passes all four oracles."""
+    from .chaos import SYNTHETIC_BUGS, replay_trial, run_campaign
+    from .chaos.oracles import ORACLES
+    from .obs import MetricsRegistry
+
+    if args.bug and args.bug not in SYNTHETIC_BUGS:
+        print(f"unknown synthetic bug {args.bug!r} "
+              f"(have {sorted(SYNTHETIC_BUGS)})", file=sys.stderr)
+        return 2
+    kernels = tuple(args.kernels) if args.kernels else None
+
+    if args.replay is not None:
+        verdict = replay_trial(
+            args.seed, args.replay, kernels=kernels,
+            max_failures=args.max_failures,
+            allow_no_log=not args.no_domino_axis, bug=args.bug,
+        )
+        print(json.dumps(verdict, indent=2))
+        return 0 if verdict.get("passed") else 1
+
+    obs = MetricsRegistry()
+    done = {"n": 0, "failed": 0}
+
+    def progress(result):
+        done["n"] += 1
+        ok = result.ok and bool(result.value.get("passed"))
+        if not ok:
+            done["failed"] += 1
+        if done["n"] % 25 == 0 or not ok:
+            print(f"  [{done['n']}/{args.trials}] "
+                  f"{done['failed']} failing", file=sys.stderr)
+
+    report = run_campaign(
+        args.trials, seed=args.seed, workers=args.workers,
+        kernels=kernels, max_failures=args.max_failures,
+        allow_no_log=not args.no_domino_axis, bug=args.bug,
+        shrink=args.shrink, obs=obs, on_progress=progress,
+    )
+    print(report.summary())
+    oracle_counter = obs.counter("chaos.oracle", ("name", "passed"))
+    for name in ORACLES:
+        passed = int(oracle_counter.get((name, True)))
+        failed = int(oracle_counter.get((name, False)))
+        print(f"  oracle {name:<12} pass={passed} fail={failed}")
+    for entry in report.shrunk:
+        if "minimized" in entry:
+            evs = entry["minimized"].get("failures", [])
+            print(f"  shrunk trial {entry['index']}: {len(evs)} event(s), "
+                  f"oracles {entry.get('failing_oracles')}")
+
+    if args.out:
+        report.save(args.out)
+        print(f"campaign report -> {args.out}")
+    if args.failures_dir and (report.failures or report.shrunk):
+        os.makedirs(args.failures_dir, exist_ok=True)
+        for entry in report.failures:
+            idx = entry["index"]
+            base = os.path.join(args.failures_dir, f"trial-{idx:05d}")
+            with open(base + ".json", "w") as fh:
+                json.dump({k: v for k, v in entry.items()
+                           if k != "flight_jsonl"}, fh, indent=2)
+            flight = entry.get("flight_jsonl")
+            if flight:
+                with open(base + ".flight.jsonl", "w") as fh:
+                    fh.write(flight)
+        for entry in report.shrunk:
+            if "reproducer" not in entry:
+                continue
+            path = os.path.join(
+                args.failures_dir,
+                f"test_chaos_repro_{entry['index']:05d}.py")
+            with open(path, "w") as fh:
+                fh.write(entry["reproducer"])
+        print(f"failure artifacts -> {args.failures_dir}/")
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static determinism pass; exit 0 clean, 1 findings, 2 usage error."""
     from .lint import lint_paths, list_rules_text, render_json, render_text
@@ -556,6 +672,7 @@ _COMMANDS = {
     "domino": cmd_domino,
     "explain": cmd_explain,
     "obs": cmd_obs,
+    "chaos": cmd_chaos,
     "lint": cmd_lint,
 }
 

@@ -137,6 +137,9 @@ class FTController:
         self.stall_flushes = 0
         self.stall_releases = 0
         self.recovery_reports: list[RecoveryReport] = []
+        #: a mid-round collect_garbage(defer=True) call parked here; runs
+        #: once the last queued round settles
+        self._gc_deferred = False
         self._was_done: dict[int, bool] = {}
         #: shared-storage device model: the next instant the device is free
         self._storage_free_at = 0.0
@@ -484,18 +487,55 @@ class FTController:
             # event queue alive (and inflate measured durations)
             self._watchdog_handle.cancel()
             self._watchdog_handle = None
-        if self._pending_failures:
+        # a queued batch may be all-dead by now (its ranks failed again in
+        # a later batch that already recovered them, then died for good);
+        # skipping it must not strand the batches queued behind it
+        while self._pending_failures:
             ranks = self._pending_failures.popleft()
             alive = [r for r in ranks if self.world.procs[r].alive]
             if alive:
                 self._start_round(alive)
+                return
+        if self._gc_deferred:
+            self._gc_deferred = False
+            self.collect_garbage()
 
     # ------------------------------------------------------------------
     # Garbage collection (Section III-A-4)
     # ------------------------------------------------------------------
-    def collect_garbage(self) -> dict[str, int]:
+    def collect_garbage(self, defer: bool = False) -> dict[str, int] | None:
         """Delete checkpoints and logged messages below the smallest
-        current epoch (the paper's periodic global operation)."""
+        current epoch (the paper's periodic global operation).
+
+        The bound is only safe against *committed* epochs: while a recovery
+        round is in flight (or queued), rolled-back protocols report the
+        transient epochs of the abandoned branch, and the min over them can
+        delete logged messages or checkpoints that a queued failure round
+        still needs.  Mid-round calls therefore raise
+        :class:`~repro.errors.ProtocolError` — or, with ``defer=True``,
+        return ``None`` and run automatically once the round (and every
+        queued round) has settled.
+        """
+        if not self.config.log_cross_epoch:
+            # without epoch-crossing logging there is no bounded-rollback
+            # theorem: the domino can cascade below *any* epoch, so no
+            # checkpoint is ever provably dead (found by chaos fuzzing —
+            # a post-GC failure needed an epoch the min-epoch bound had
+            # already reclaimed)
+            raise ProtocolError(
+                "collect_garbage() is unsound with log_cross_epoch=False: "
+                "plain uncoordinated rollback is unbounded, so the "
+                "min-epoch reclamation bound does not exist"
+            )
+        if self._round_in_progress or self._pending_failures:
+            if not defer:
+                raise ProtocolError(
+                    "collect_garbage() called while a recovery round is in "
+                    "flight or queued; the min-epoch bound is unsafe against "
+                    "rolled-back epochs (pass defer=True to run after settle)"
+                )
+            self._gc_deferred = True
+            return None
         min_epoch = min(p.state.epoch for p in self.protocols)
         removed_ckpts = self.store.collect_garbage(
             {r: min_epoch for r in range(self.nprocs)}

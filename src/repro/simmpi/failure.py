@@ -19,7 +19,15 @@ from ..errors import ConfigError
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import World
 
-__all__ = ["FailureEvent", "FailureInjector"]
+__all__ = ["FailureEvent", "FailureInjector", "TIME_QUANTUM"]
+
+#: two scheduled failure times closer than this are one concurrent round.
+#: Float arithmetic on schedule times (``t + dt``, fractions of a measured
+#: horizon) produces values that are *intended* equal but differ in the
+#: last ulps; the quantum is far below every timing-model constant (the
+#: fastest network hop is ~1e-6 s), so genuinely distinct rounds are never
+#: merged while arithmetic noise never splits a concurrent batch.
+TIME_QUANTUM = 1e-9
 
 
 @dataclass(frozen=True)
@@ -33,17 +41,25 @@ class FailureEvent:
 class FailureInjector:
     """Schedules fail-stop failures and dispatches them to a handler.
 
-    Concurrent failures: multiple events at the same virtual time are
-    delivered to the handler as a single batch (list of ranks), matching
-    the paper's "multiple concurrent failures" scenario where the recovery
-    line must account for every failed process at once.
+    Concurrent failures: multiple events within ``time_quantum`` of each
+    other are delivered to the handler as a single batch (list of ranks),
+    matching the paper's "multiple concurrent failures" scenario where the
+    recovery line must account for every failed process at once.  Exact
+    float equality is deliberately *not* required — schedule times that
+    come from arithmetic (``t + dt``) land a few ulps apart.
     """
 
-    def __init__(self, world: "World", handler: Callable[[list[int]], None]):
+    def __init__(self, world: "World", handler: Callable[[list[int]], None],
+                 time_quantum: float = TIME_QUANTUM):
         self.world = world
         self.handler = handler
+        self.time_quantum = time_quantum
         self._scheduled: list[FailureEvent] = []
         self.fired: list[FailureEvent] = []
+        #: active ``after_sends`` taps: {"rank", "nsends", "fired"}
+        self._taps: list[dict] = []
+        self._tap_wrapper: Callable | None = None
+        self._orig_transmit: Callable | None = None
 
     def at(self, time: float, rank: int) -> None:
         """Kill ``rank`` at virtual ``time``."""
@@ -56,36 +72,91 @@ class FailureInjector:
         for rank in ranks:
             self.at(time, rank)
 
+    # ------------------------------------------------------------------
+    # Logical placement: kill after the Nth application send
+    # ------------------------------------------------------------------
     def after_sends(self, rank: int, nsends: int) -> None:
         """Kill ``rank`` immediately after its ``nsends``-th application
         send — deterministic logical placement, independent of the timing
-        model (useful for reproducible protocol corner cases)."""
+        model (useful for reproducible protocol corner cases).
+
+        Multiple taps compose: each registered ``(rank, nsends)`` fires
+        independently through one shared ``transmit_app`` wrapper, and the
+        wrapper is uninstalled once every tap has fired, so steady-state
+        sends never keep paying for an exhausted tap.
+        """
         if not 0 <= rank < self.world.nprocs:
             raise ConfigError(f"rank {rank} out of range")
         if nsends < 1:
             raise ConfigError("nsends must be positive")
+        self._taps.append({"rank": rank, "nsends": nsends, "fired": False})
+        self._install_tap()
+
+    def _install_tap(self) -> None:
+        if self._tap_wrapper is not None:
+            return
         original = self.world.transmit_app
-        state = {"installed": False}
 
         def tapped(env, _original=original):
             cpu = _original(env)
-            if (env.src == rank
-                    and self.world.procs[rank].app_messages_sent >= nsends
-                    and not state["installed"]):
-                state["installed"] = True
-                self.world.engine.call_soon(
-                    lambda: self._fire([rank], self.world.engine.now)
-                )
+            if self._taps:
+                # the send counter increments after transmit returns, so
+                # +1 makes this the count *including* the in-flight send:
+                # the kill lands right after the nsends-th send, not one
+                # message later
+                sent = self.world.procs[env.src].app_messages_sent + 1
+                exhausted = True
+                for tap in self._taps:
+                    if (not tap["fired"] and tap["rank"] == env.src
+                            and sent >= tap["nsends"]):
+                        tap["fired"] = True
+                        self.world.engine.call_soon(
+                            lambda r=env.src: self._fire(
+                                [r], self.world.engine.now
+                            )
+                        )
+                    exhausted = exhausted and tap["fired"]
+                if exhausted:
+                    self._taps.clear()
+                    self._uninstall_tap()
             return cpu
 
+        self._orig_transmit = original
+        self._tap_wrapper = tapped
         self.world.transmit_app = tapped
 
+    def _uninstall_tap(self) -> None:
+        """Restore the original ``transmit_app`` hook once every tap fired.
+
+        If someone wrapped ``transmit_app`` *after* us, restoring the
+        original would silently drop their wrapper — in that case ours
+        stays in the chain as a cheap pass-through (empty tap list)."""
+        if self._tap_wrapper is None:
+            return
+        if self.world.transmit_app is self._tap_wrapper:
+            assert self._orig_transmit is not None
+            self.world.transmit_app = self._orig_transmit
+        self._tap_wrapper = None
+        self._orig_transmit = None
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
     def arm(self) -> None:
-        """Install the scheduled failures into the engine."""
-        by_time: dict[float, list[int]] = {}
-        for ev in self._scheduled:
-            by_time.setdefault(ev.time, []).append(ev.rank)
-        for time, ranks in by_time.items():
+        """Install the scheduled failures into the engine.
+
+        Events are grouped into concurrent rounds within
+        ``self.time_quantum`` of each group's earliest time (not exact
+        float equality), and each group fires at that earliest time.
+        """
+        events = sorted(self._scheduled, key=lambda ev: (ev.time, ev.rank))
+        groups: list[tuple[float, list[int]]] = []
+        for ev in events:
+            if groups and ev.time - groups[-1][0] <= self.time_quantum:
+                groups[-1][1].append(ev.rank)
+            else:
+                groups.append((ev.time, [ev.rank]))
+        for time, ranks in groups:
             self.world.engine.schedule_at(
                 time, lambda rs=sorted(set(ranks)), t=time: self._fire(rs, t)
             )

@@ -1,0 +1,75 @@
+"""Schedule generation: determinism, JSON round-trips, constraint axes."""
+
+import pytest
+
+from repro.chaos.schedule import (
+    KERNELS,
+    PLACEMENT_KINDS,
+    FailureSpec,
+    TrialSchedule,
+    generate_schedule,
+    schedule_from_json,
+    with_failures,
+)
+from repro.errors import ConfigError
+
+
+def test_same_seed_same_schedule():
+    for seed in (0, 7, 123456789, 2**62 + 5):
+        assert generate_schedule(seed) == generate_schedule(seed)
+
+
+def test_different_seeds_differ_somewhere():
+    schedules = {repr(generate_schedule(s).to_json()) for s in range(40)}
+    assert len(schedules) > 30  # near-total diversity at small seed counts
+
+
+def test_json_roundtrip_exact():
+    for seed in range(25):
+        sched = generate_schedule(seed)
+        assert schedule_from_json(sched.to_json()) == sched
+
+
+def test_generated_schedules_satisfy_invariants():
+    for seed in range(60):
+        sched = generate_schedule(seed)
+        sched.validate()  # must not raise
+        assert sched.nprocs in KERNELS[sched.kernel].nprocs_choices
+        assert sched.nprocs % sched.clusters == 0
+        assert 1 <= len(sched.failures) <= 4
+        assert all(f.kind in PLACEMENT_KINDS for f in sched.failures)
+        # first event anchors the trial in absolute/logical terms
+        assert sched.failures[0].kind in ("at", "after_sends")
+        if not sched.log_cross_epoch:
+            assert sched.gc_frac == 0.0  # GC unsound under domino
+
+
+def test_kernel_pool_restriction():
+    for seed in range(10):
+        assert generate_schedule(seed, kernels=("cg",)).kernel == "cg"
+    with pytest.raises(ConfigError):
+        generate_schedule(0, kernels=("nope",))
+
+
+def test_validate_rejects_bad_schedules():
+    good = generate_schedule(0)
+    with pytest.raises(ConfigError):
+        with_failures(good, (FailureSpec(rank=99),)).validate()
+    with pytest.raises(ConfigError):
+        with_failures(good, (FailureSpec(0, kind="sideways"),)).validate()
+    with pytest.raises(ConfigError):
+        TrialSchedule(seed=0, nprocs=6, clusters=4).validate()
+    with pytest.raises(ConfigError):
+        TrialSchedule(seed=0, log_cross_epoch=False,
+                      gc_frac=0.3).validate()
+
+
+def test_allow_no_log_off_removes_domino_axis():
+    assert all(generate_schedule(s, allow_no_log=False).log_cross_epoch
+               for s in range(80))
+
+
+def test_bug_field_threaded_through():
+    sched = generate_schedule(3, bug="ack_drop")
+    assert sched.bug == "ack_drop"
+    assert schedule_from_json(sched.to_json()).bug == "ack_drop"
