@@ -84,6 +84,78 @@ def timed(fn, *, rounds: int = 3, warmup: int = 1) -> float:
     return best
 
 
+def timed_interleaved(thunks: dict, *, rounds: int = 9,
+                      warmup: int = 1) -> dict:
+    """Per-round walls for several configurations, interleaved.
+
+    Ratio benchmarks (overhead factors) are hostile to sequential timing:
+    on a shared host the machine drifts between the baseline block and the
+    treatment block, and the drift lands entirely in the ratio.  Running
+    one round of *every* configuration per iteration puts baseline and
+    treatment under the same instantaneous conditions, so the minima are
+    directly comparable.  Garbage from the previous configuration's run is
+    collected *outside* the timed region — otherwise whichever thunk runs
+    next absorbs the teardown cost of its predecessor and the ratio tilts
+    by iteration order.
+
+    The session heap accumulated by earlier tests is frozen for the
+    duration (``gc.freeze``) and the collector is paused *inside* each
+    timed region: a configuration that allocates more than the baseline
+    triggers more collections, and whichever of those crosses the gen-2
+    threshold absorbs a full-heap scan — a multi-millisecond spike billed
+    to whatever happened to be running.  Garbage stays bounded because
+    every region is preceded by an explicit collect.
+
+    Returns ``{name: [wall_s per round]}`` — feed pairs of sample lists to
+    :func:`paired_factor` for overhead ratios and :func:`median` for a
+    representative wall.
+    """
+    import gc
+
+    for fn in thunks.values():
+        for _ in range(warmup):
+            fn()
+    samples: dict = {name: [] for name in thunks}
+    gc.collect()
+    gc.freeze()
+    try:
+        for _ in range(rounds):
+            for name, fn in thunks.items():
+                gc.collect()
+                gc.disable()
+                try:
+                    t0 = time.perf_counter()
+                    fn()
+                    samples[name].append(time.perf_counter() - t0)
+                finally:
+                    gc.enable()
+    finally:
+        gc.unfreeze()
+    return samples
+
+
+def median(xs) -> float:
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def paired_factor(treatment, baseline) -> float:
+    """Median of the per-round ``treatment/baseline`` wall ratios.
+
+    The naive estimator — best-of-N treatment over best-of-N baseline —
+    pairs each configuration's *luckiest* round with the other's, so a
+    single unusually fast baseline round inflates the reported overhead
+    (and vice versa).  Per-round ratios keep the pairing honest: both
+    walls in a ratio come from the same interleaved iteration, i.e. the
+    same instantaneous host conditions, and the median discards the
+    rounds where a scheduler hiccup landed on one side only.
+    """
+    ratios = [t / b for t, b in zip(treatment, baseline)]
+    return median(ratios)
+
+
 def seed_baseline() -> dict:
     """Wall-clock numbers recorded at the seed commit (see the file).
 

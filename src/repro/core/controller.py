@@ -120,6 +120,11 @@ class FTController:
         if self.config.cluster_of is not None and len(self.config.cluster_of) != nprocs:
             raise ProtocolError("cluster_of must map every rank")
         self.obs = obs if obs is not None else NULL_OBS
+        if self.obs.enabled:
+            # checkpoints fire per rank on every interval — slot-resolve the
+            # per-rank series up front (rank cardinality is known here)
+            ckpt = self.obs.counter("checkpoint.stored", ("rank",))
+            self._ckpt_cells = [ckpt.slot((r,)) for r in range(nprocs)]
         self.store = CheckpointStore(nprocs)
         self.protocols: list[SDProtocol] = [SDProtocol(r, self) for r in range(nprocs)]
         self.recovery = RecoveryProcess(self)
@@ -200,7 +205,7 @@ class FTController:
         proto = self.protocols[rank]
         world = self.world
         if self.obs.enabled:
-            self.obs.counter("checkpoint.stored", ("rank",)).inc(labels=(rank,))
+            self._ckpt_cells[rank].n += 1
             self.obs.event("checkpoint", rank=rank, epoch=proto.state.epoch)
         if self.config.lightweight:
             # epoch bookkeeping already advanced (begin_epoch); analysis

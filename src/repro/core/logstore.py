@@ -84,6 +84,16 @@ class SenderChannel:
         self.eager_threshold = eager_threshold
         self.max_unacked = max_unacked
         self.obs = obs if (obs is not None and obs.enabled) else None
+        if self.obs is not None:
+            o = self.obs
+            self._logged_counter = o.counter("logstore.messages_logged", ("epoch",))
+            self._log_bytes_counter = o.counter("logstore.log_bytes", ("epoch",))
+            self._log_cells: dict[int, tuple[Any, Any]] = {}
+            self._size_hist = o.sampled_histogram("logstore.logged_size", SIZE_BUCKETS)
+            self._c_confirmed = o.counter_slot("logstore.messages_confirmed")
+            self._c_ack_requests = o.counter_slot("logstore.ack_requests")
+            self._c_explicit_acks = o.counter_slot("logstore.explicit_acks")
+            self._c_piggybacks = o.counter_slot("logstore.piggybacks_applied")
         self.epoch = 1
         self._ssn = 0
         #: default copies awaiting confirmation, in ssn order
@@ -105,15 +115,20 @@ class SenderChannel:
                    payload: Any, size: int) -> None:
         self.log.append((ssn, epoch_send, epoch_recv, payload, size))
         if self.obs is not None:
-            labels = (epoch_send,)
-            self.obs.counter("logstore.messages_logged", ("epoch",)).inc(labels=labels)
-            self.obs.counter("logstore.log_bytes", ("epoch",)).inc(size, labels=labels)
-            self.obs.histogram("logstore.logged_size", SIZE_BUCKETS).observe(size)
+            cells = self._log_cells.get(epoch_send)
+            if cells is None:
+                cells = self._log_cells[epoch_send] = (
+                    self._logged_counter.slot((epoch_send,)),
+                    self._log_bytes_counter.slot((epoch_send,)),
+                )
+            cells[0].n += 1
+            cells[1].n += size
+            self._size_hist.observe(size)
 
     def _confirm_entry(self, ssn: int, epoch_send: int, epoch_recv: int) -> None:
         self.confirmed.append((ssn, epoch_send, epoch_recv))
         if self.obs is not None:
-            self.obs.counter("logstore.messages_confirmed").inc()
+            self._c_confirmed.n += 1
 
     def advance_epoch(self) -> None:
         """A checkpoint was taken: already-logged marking stops applying."""
@@ -158,7 +173,7 @@ class SenderChannel:
     def make_ack_request(self) -> None:
         self.stats.ack_requests += 1
         if self.obs is not None:
-            self.obs.counter("logstore.ack_requests").inc()
+            self._c_ack_requests.n += 1
 
     # ------------------------------------------------------------------
     def on_explicit_ack(self, ssn: int, epoch_recv: int) -> None:
@@ -171,7 +186,7 @@ class SenderChannel:
         """
         self.stats.explicit_acks += 1
         if self.obs is not None:
-            self.obs.counter("logstore.explicit_acks").inc()
+            self._c_explicit_acks.n += 1
         entry = self._pop(ssn)
         if entry.epoch_send < epoch_recv:
             self._log_entry(entry.ssn, entry.epoch_send, epoch_recv,
@@ -190,7 +205,7 @@ class SenderChannel:
         ``receiver_epoch``": resolve every retained copy up to that ssn."""
         self.stats.piggybacks_applied += 1
         if self.obs is not None:
-            self.obs.counter("logstore.piggybacks_applied").inc()
+            self._c_piggybacks.n += 1
         resolved = [r for r in self.retained if r.ssn <= last_ssn]
         self.retained = [r for r in self.retained if r.ssn > last_ssn]
         for r in resolved:
@@ -218,6 +233,10 @@ class ReceiverChannel:
     def __init__(self, eager_threshold: int = DEFAULT_EAGER_THRESHOLD, obs: Any = None):
         self.eager_threshold = eager_threshold
         self.obs = obs if (obs is not None and obs.enabled) else None
+        if self.obs is not None:
+            recv_acks = self.obs.counter("logstore.recv_explicit_acks", ("reason",))
+            self._c_ack_first_logged = recv_acks.slot(("first_logged",))
+            self._c_ack_rendezvous = recv_acks.slot(("rendezvous",))
         self.epoch = 1
         self.last_ssn = 0
         #: sender epochs for which the first logged message was acked
@@ -243,16 +262,12 @@ class ReceiverChannel:
             self._log_acked_epochs.add(msg.epoch_send)
             self.stats.explicit_acks += 1
             if self.obs is not None:
-                self.obs.counter("logstore.recv_explicit_acks", ("reason",)).inc(
-                    labels=("first_logged",)
-                )
+                self._c_ack_first_logged.n += 1
             return (msg.ssn, self.epoch)
         if msg.size > self.eager_threshold:
             self.stats.explicit_acks += 1
             if self.obs is not None:
-                self.obs.counter("logstore.recv_explicit_acks", ("reason",)).inc(
-                    labels=("rendezvous",)
-                )
+                self._c_ack_rendezvous.n += 1
             return (msg.ssn, self.epoch)
         return None
 

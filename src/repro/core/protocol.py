@@ -44,6 +44,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Status", "SDProtocol", "CTL"]
 
+# Hot-path flight-record kinds pre-resolved to module constants: the
+# send/deliver/ack paths record thousands of these per run and a global
+# load beats the class-attribute walk.
+_FK_SEND = FlightKind.SEND
+_FK_SUPPRESS = FlightKind.SUPPRESS
+_FK_DELIVER = FlightKind.DELIVER
+_FK_PHASE = FlightKind.PHASE
+_FK_ACK = FlightKind.ACK
+_FK_LOG = FlightKind.LOG
+_FK_CONFIRM = FlightKind.CONFIRM
+
 
 class CTL:
     """Control-plane tags (all below :data:`CONTROL_TAG_BASE`)."""
@@ -119,10 +130,32 @@ class SDProtocol(ProtocolHook):
         self.ack_flushes = 0
         obs = controller.obs
         self.obs = obs if obs.enabled else None
+        if self.obs is not None:
+            # slot-resolve every per-event series once; the receive/ack hot
+            # paths then increment bare cells (epoch-labelled series are
+            # cached lazily, keyed by epoch — small, bounded cardinality)
+            self._c_suppressed = obs.counter_slot("protocol.messages_suppressed")
+            acks = obs.counter("protocol.acks_sent", ("dup",))
+            self._c_ack_fresh = acks.slot((False,))
+            self._c_ack_dup = acks.slot((True,))
+            self._c_ack_flushes = obs.counter_slot("protocol.ack_flushes")
+            self._c_acks_batched = obs.counter_slot("protocol.acks_batched")
+            self._logged_counter = obs.counter("protocol.messages_logged", ("epoch",))
+            self._log_bytes_counter = obs.counter("protocol.log_bytes", ("epoch",))
+            self._log_cells: dict[int, tuple[Any, Any]] = {}
+            self._c_confirmed = obs.counter_slot("protocol.messages_confirmed")
+            self._c_replayed = obs.counter_slot("protocol.messages_replayed")
         # flight recorder cached separately: disabled path is one identity
         # comparison even when metrics are on but the recorder is not
         self.flight = (obs.flight
                        if obs.enabled and obs.flight.enabled else None)
+        # pre-resolved per-rank flight sink: the send/deliver/ack hot paths
+        # append record tuples in RECORD_FIELDS order straight onto the ring
+        # buffer's bound C append — no recorder call per record (cold paths
+        # keep the record() API)
+        self._flight_sink = (
+            self.flight.sink(self.rank) if self.flight is not None else None
+        )
         # invariant sanitizer, same cached pattern: None when REPRO_SANITIZE
         # is off, so the hot path pays one identity comparison
         self.san = sanitizer_for(obs)
@@ -177,10 +210,11 @@ class SDProtocol(ProtocolHook):
                 uid=env.uid,
             )
         )
-        if self.flight is not None:
-            self.flight.record(self.rank, FlightKind.SEND, peer=env.dst,
-                               uid=env.uid, epoch_send=st.epoch,
-                               phase=st.phase, extra=date)
+        sink = self._flight_sink
+        if sink is not None:
+            sink.n += 1
+            sink.append((sink.time.now, _FK_SEND, self.rank, env.dst,
+                         env.uid, st.epoch, 0, st.phase, 0, date))
 
     # ------------------------------------------------------------------
     # Receive path (Fig. 3 lines 19-32)
@@ -202,12 +236,13 @@ class SDProtocol(ProtocolHook):
             # orphan of one of our phases (lines 29-32).
             self.messages_suppressed += 1
             if self.obs is not None:
-                self.obs.counter("protocol.messages_suppressed").inc()
-            if self.flight is not None:
-                self.flight.record(self.rank, FlightKind.SUPPRESS,
-                                   peer=env.src, uid=env.uid,
-                                   epoch_send=meta["epoch"],
-                                   epoch_recv=st.epoch, extra=date)
+                self._c_suppressed.n += 1
+            sink = self._flight_sink
+            if sink is not None:
+                sink.n += 1
+                sink.append((sink.time.now, _FK_SUPPRESS, self.rank,
+                             env.src, env.uid, meta["epoch"], st.epoch, 0,
+                             0, date))
             self._orphan_countdown(env.src, date)
             self._send_ack(env, duplicate=True)
             return False
@@ -225,23 +260,24 @@ class SDProtocol(ProtocolHook):
                                    crossed=meta["epoch"] < st.epoch)
         st.record_rpp(env.src, date)
         st.delivered_count += 1
-        if self.flight is not None:
-            self.flight.record(self.rank, FlightKind.DELIVER, peer=env.src,
-                               uid=env.uid, epoch_send=meta["epoch"],
-                               epoch_recv=st.epoch, phase=st.phase,
-                               extra=date)
+        sink = self._flight_sink
+        if sink is not None:
+            ts = sink.time.now
+            sink.n += 1
+            sink.append((ts, _FK_DELIVER, self.rank, env.src, env.uid,
+                         meta["epoch"], st.epoch, st.phase, 0, date))
             if st.phase > old_phase:
                 # message-driven phase bump: the delivered uid is the cause
-                self.flight.record(self.rank, FlightKind.PHASE,
-                                   peer=env.src, epoch_send=st.epoch,
-                                   phase=st.phase, cause_uid=env.uid)
+                sink.n += 1
+                sink.append((ts, _FK_PHASE, self.rank, env.src, 0,
+                             st.epoch, 0, st.phase, env.uid, None))
         self._send_ack(env, duplicate=False)
         return True
 
     def _send_ack(self, env: Envelope, duplicate: bool) -> None:
         self.acks_sent += 1
         if self.obs is not None:
-            self.obs.counter("protocol.acks_sent", ("dup",)).inc(labels=(duplicate,))
+            (self._c_ack_dup if duplicate else self._c_ack_fresh).n += 1
         meta = env.meta
         record = {
             "date": meta["date"],
@@ -249,11 +285,12 @@ class SDProtocol(ProtocolHook):
             "epoch_recv": self.state.epoch,
             "dup": duplicate,
         }
-        if self.flight is not None:
-            self.flight.record(self.rank, FlightKind.ACK, peer=env.src,
-                               uid=env.uid, epoch_send=meta["epoch"],
-                               epoch_recv=self.state.epoch,
-                               extra=("dup" if duplicate else None))
+        sink = self._flight_sink
+        if sink is not None:
+            sink.n += 1
+            sink.append((sink.time.now, _FK_ACK, self.rank, env.src,
+                         env.uid, meta["epoch"], self.state.epoch, 0, 0,
+                         ("dup" if duplicate else None)))
         # Coalescing: fresh acks join the per-peer batch; duplicate acks
         # (recovery traffic) always travel eagerly so replay bookkeeping
         # resolves promptly.  With the default ack_batch=1 this method is
@@ -294,8 +331,8 @@ class SDProtocol(ProtocolHook):
             return 0
         self.ack_flushes += 1
         if self.obs is not None:
-            self.obs.counter("protocol.ack_flushes").inc()
-            self.obs.counter("protocol.acks_batched").inc(len(batch))
+            self._c_ack_flushes.n += 1
+            self._c_acks_batched.n += len(batch)
         self._ctl(dst, CTL.ACK, {"batch": batch})
         return len(batch)
 
@@ -411,16 +448,21 @@ class SDProtocol(ProtocolHook):
             self.messages_logged += 1
             self.bytes_logged += entry.size
             if self.obs is not None:
-                labels = (entry.epoch_send,)
-                self.obs.counter("protocol.messages_logged", ("epoch",)).inc(labels=labels)
-                self.obs.counter("protocol.log_bytes", ("epoch",)).inc(
-                    entry.size, labels=labels
-                )
-            if self.flight is not None:
-                self.flight.record(self.rank, FlightKind.LOG, peer=entry.dst,
-                                   uid=entry.uid, epoch_send=entry.epoch_send,
-                                   epoch_recv=epoch_recv,
-                                   phase=entry.phase_send)
+                epoch = entry.epoch_send
+                cells = self._log_cells.get(epoch)
+                if cells is None:
+                    cells = self._log_cells[epoch] = (
+                        self._logged_counter.slot((epoch,)),
+                        self._log_bytes_counter.slot((epoch,)),
+                    )
+                cells[0].n += 1
+                cells[1].n += entry.size
+            sink = self._flight_sink
+            if sink is not None:
+                sink.n += 1
+                sink.append((sink.time.now, _FK_LOG, self.rank, entry.dst,
+                             entry.uid, entry.epoch_send, epoch_recv,
+                             entry.phase_send, 0, None))
         else:
             if self.san is not None:
                 self.san.spe_non_logged(
@@ -429,15 +471,15 @@ class SDProtocol(ProtocolHook):
                 )
             st.record_spe(entry.dst, entry.epoch_send, epoch_recv)
             if self.obs is not None:
-                self.obs.counter("protocol.messages_confirmed").inc()
-            if self.flight is not None:
+                self._c_confirmed.n += 1
+            sink = self._flight_sink
+            if sink is not None:
                 # the ack resolved without logging — this is a NON-LOGGED
                 # message, the raw material of the recovery explainer
-                self.flight.record(self.rank, FlightKind.CONFIRM,
-                                   peer=entry.dst, uid=entry.uid,
-                                   epoch_send=entry.epoch_send,
-                                   epoch_recv=epoch_recv,
-                                   phase=entry.phase_send)
+                sink.n += 1
+                sink.append((sink.time.now, _FK_CONFIRM, self.rank,
+                             entry.dst, entry.uid, entry.epoch_send,
+                             epoch_recv, entry.phase_send, 0, None))
 
     # ------------------------------------------------------------------
     # Checkpointing (Fig. 3 lines 41-45)
@@ -697,7 +739,7 @@ class SDProtocol(ProtocolHook):
             )
         self.messages_replayed += 1
         if self.obs is not None:
-            self.obs.counter("protocol.messages_replayed").inc()
+            self._c_replayed.n += 1
         if self.flight is not None:
             # uid is the fresh emission; cause_uid links back to the
             # original send this replay re-executes

@@ -20,8 +20,10 @@ or from the command line: ``python -m repro obs --format csv``.
 
 from .registry import (
     Counter,
+    CounterCell,
     Gauge,
     Histogram,
+    HistogramSampler,
     MetricsRegistry,
     NullRegistry,
     NULL_OBS,
@@ -61,8 +63,10 @@ from .perfetto import dump_perfetto, perfetto_trace
 
 __all__ = [
     "Counter",
+    "CounterCell",
     "Gauge",
     "Histogram",
+    "HistogramSampler",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_OBS",

@@ -52,14 +52,15 @@ def metric_rows(registry: "MetricsRegistry") -> list[dict[str, Any]]:
     rows: list[dict[str, Any]] = []
     for inst in registry.instruments():
         if isinstance(inst, Counter):
-            for labels in sorted(inst.values, key=repr):
+            values = inst.values  # one materialisation of the cell view
+            for labels in sorted(values, key=repr):
                 rows.append({
                     "metric": inst.name,
                     "type": "counter",
                     "labels": _labels_dict(inst.label_names, labels),
-                    "value": inst.values[labels],
+                    "value": values[labels],
                 })
-            if not inst.values:
+            if not values:
                 rows.append({"metric": inst.name, "type": "counter",
                              "labels": {}, "value": 0.0})
         elif isinstance(inst, Gauge):

@@ -19,10 +19,14 @@ through :meth:`FlightRecorder.snapshot` / :meth:`FlightRecorder.merge`
 Zero-cost-when-disabled contract: components cache
 ``obs.flight if obs.enabled and obs.flight.enabled else None`` at
 construction, so the disabled path is one identity comparison.  Records
-are plain tuples and :meth:`FlightRecorder.record` does one clock call,
-one bounds check and one append — cheap enough that enabling the recorder
-at default capacity stays under a few percent of the instrumented run
-(``benchmarks/test_simulator_throughput.py``).
+are plain tuples.  Components that record for one fixed rank resolve a
+:meth:`FlightRecorder.sink` handle once at construction and append
+directly onto the ring buffer's bound C ``append`` (one timestamp
+attribute load, one counter bump, one tuple build — no recorder call);
+the :meth:`FlightRecorder.record` API remains for cold paths.  Drop
+accounting is *derived* — appends ever made minus records still held —
+so the hot path pays no capacity check (the ring's ``maxlen`` eviction
+does the bounding; see ``benchmarks/test_simulator_throughput.py``).
 """
 
 from __future__ import annotations
@@ -76,41 +80,121 @@ class FlightKind:
     RUNNING = "running"        # Blocked/RolledBack -> Running transition
 
 
+class _ZeroTime:
+    """Default time source before any clock is bound."""
+
+    now = 0.0
+
+
+_ZERO_TIME = _ZeroTime()
+
+
+class _ClockTime:
+    """Adapter presenting a ``clock()`` callable as a ``.now`` attribute."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+
+class _RankSink:
+    """Hot-path append handle for one rank's ring buffer.
+
+    ``append`` is the deque's *bound C method* and ``time`` the current
+    time source (``time.now`` is the timestamp), so an instrumented
+    component records with::
+
+        sink.n += 1
+        sink.append((sink.time.now, kind, rank, ...))
+
+    — no Python-level call into the recorder at all.  ``n`` counts every
+    record ever appended through this sink; drop accounting is derived
+    (``n`` minus records still held), so the hot path pays no capacity
+    check — the ring's ``maxlen`` eviction does the bounding.
+    """
+
+    __slots__ = ("append", "time", "n")
+
+    def __init__(self, buf: deque, time: Any):
+        self.append = buf.append
+        self.time = time
+        self.n = 0
+
+
 class FlightRecorder:
     """Per-rank bounded record streams with drop accounting."""
 
     enabled = True
 
-    __slots__ = ("capacity", "_buffers", "dropped", "_clock")
+    __slots__ = ("capacity", "_buffers", "_sinks", "_carried", "_time_src")
 
     def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY,
                  clock: Callable[[], float] | None = None):
         self.capacity = capacity
         self._buffers: dict[int, deque[tuple]] = {}
-        self.dropped: dict[int, int] = {}
-        self._clock = clock
+        self._sinks: dict[int, _RankSink] = {}
+        #: drops carried in from merged snapshots (per rank)
+        self._carried: dict[int, int] = {}
+        self._time_src: Any = _ClockTime(clock) if clock is not None else _ZERO_TIME
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
-        self._clock = clock
+        self._rebind(_ClockTime(clock))
+
+    def bind_time_source(self, src: Any) -> None:
+        """Bind an object exposing a ``.now`` attribute (the engine).
+
+        Recording then timestamps with one attribute load instead of a
+        Python-level clock call; the latest binding wins over
+        :meth:`bind_clock`.
+        """
+        self._rebind(src)
+
+    def _rebind(self, src: Any) -> None:
+        self._time_src = src
+        for sink in self._sinks.values():
+            sink.time = src
 
     # ------------------------------------------------------------------
     # Recording (hot path)
     # ------------------------------------------------------------------
+    def sink(self, rank: int) -> _RankSink:
+        """The pre-resolved per-rank append handle (see :class:`_RankSink`).
+
+        Components that record for one fixed rank resolve their sink once
+        at construction; handles are invalidated by :meth:`clear`.
+        """
+        sink = self._sinks.get(rank)
+        if sink is None:
+            buf = self._buffers[rank] = deque(maxlen=self.capacity)
+            sink = self._sinks[rank] = _RankSink(buf, self._time_src)
+            self._carried.setdefault(rank, 0)
+        return sink
+
     def record(self, rank: int, kind: str, peer: int = -1, uid: int = 0,
                epoch_send: int = 0, epoch_recv: int = 0, phase: int = 0,
                cause_uid: int = 0, extra: Any = None) -> None:
-        buf = self._buffers.get(rank)
-        if buf is None:
-            buf = self._buffers[rank] = deque(maxlen=self.capacity)
-            self.dropped[rank] = 0
-        elif len(buf) == self.capacity:
-            self.dropped[rank] += 1
-        clock = self._clock
-        buf.append((
-            clock() if clock is not None else 0.0,
-            kind, rank, peer, uid, epoch_send, epoch_recv, phase,
-            cause_uid, extra,
-        ))
+        try:
+            sink = self._sinks[rank]
+        except KeyError:
+            sink = self.sink(rank)
+        sink.n += 1
+        sink.append((sink.time.now, kind, rank, peer, uid, epoch_send,
+                     epoch_recv, phase, cause_uid, extra))
+
+    @property
+    def dropped(self) -> dict[int, int]:
+        """Per-rank count of records evicted by the ring bound (derived:
+        appends ever made minus records still held, plus merged-in drops)."""
+        buffers = self._buffers
+        return {
+            rank: self._carried.get(rank, 0) + sink.n - len(buffers[rank])
+            for rank, sink in self._sinks.items()
+        }
 
     # ------------------------------------------------------------------
     # Reading
@@ -149,7 +233,7 @@ class FlightRecorder:
         """Plain-data copy (picklable, JSON-able via :func:`record_to_dict`)."""
         return {
             "capacity": self.capacity,
-            "dropped": dict(self.dropped),
+            "dropped": self.dropped,
             "records": {r: list(b) for r, b in self._buffers.items()},
         }
 
@@ -159,28 +243,31 @@ class FlightRecorder:
         Per-rank streams are concatenated (records keep their original
         timestamps); ring-buffer bounds still apply, so merging more than
         ``capacity`` records into one rank's buffer drops the oldest and
-        counts them.
+        counts them (derived drop accounting: every merged record bumps the
+        sink's append count, eviction is the ring's).
         """
         if not snap:
             return
         for rank_key, dropped in snap.get("dropped", {}).items():
             rank = int(rank_key)
-            self.dropped[rank] = self.dropped.get(rank, 0) + dropped
-            self._buffers.setdefault(rank, deque(maxlen=self.capacity))
+            self.sink(rank)
+            self._carried[rank] = self._carried.get(rank, 0) + dropped
         for rank_key, records in snap.get("records", {}).items():
             rank = int(rank_key)
-            buf = self._buffers.get(rank)
-            if buf is None:
-                buf = self._buffers[rank] = deque(maxlen=self.capacity)
-                self.dropped.setdefault(rank, 0)
-            for rec in records:
-                if len(buf) == self.capacity:
-                    self.dropped[rank] += 1
-                buf.append(tuple(rec))
+            sink = self.sink(rank)
+            sink.n += len(records)
+            self._buffers[rank].extend(tuple(rec) for rec in records)
 
     def clear(self) -> None:
+        """Drop all records and accounting.
+
+        Invalidates any :meth:`sink` handles resolved before the clear —
+        components must re-resolve (in practice recorders live and die with
+        one world, so this only matters to tests).
+        """
         self._buffers.clear()
-        self.dropped.clear()
+        self._sinks.clear()
+        self._carried.clear()
 
 
 def record_to_dict(rec: tuple) -> dict[str, Any]:
@@ -205,6 +292,10 @@ class NullFlightRecorder:
     __slots__ = ()
 
     def bind_clock(self, clock: Callable[[], float]) -> None: ...
+    def bind_time_source(self, src: Any) -> None: ...
+    def sink(self, rank: int) -> Any:
+        # a fresh zero-capacity sink: appends discard, nothing is retained
+        return _RankSink(deque(maxlen=0), _ZERO_TIME)
     def record(self, *a: Any, **k: Any) -> None: ...
     def records(self, rank: int | None = None,
                 kind: str | None = None) -> Iterator[tuple]:

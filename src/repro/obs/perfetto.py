@@ -45,7 +45,13 @@ def _flight_of(source: Any):
     if isinstance(flight, dict):  # snapshot: rehydrate into a recorder
         from .flight import FlightRecorder
 
-        recorder = FlightRecorder(capacity=flight.get("capacity", 0) or 1)
+        # size the ring to hold every record present: a snapshot missing
+        # its "capacity" key must not have its streams evicted (and the
+        # evictions counted as drops) by the rehydrating merge
+        records = flight.get("records", {})
+        capacity = flight.get("capacity", 0) or max(
+            (len(r) for r in records.values()), default=1) or 1
+        recorder = FlightRecorder(capacity=capacity)
         recorder.merge(flight)
         return recorder
     return flight

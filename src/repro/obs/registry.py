@@ -20,10 +20,31 @@ Two registry implementations share one interface:
 Instruments are created lazily and idempotently by name; asking twice for
 the same name returns the same object, asking for the same name with a
 different type or label set raises.
+
+Slot resolution (the hot-path contract)
+---------------------------------------
+Per-event instrumentation must never pay the name lookup, the label-tuple
+allocation, or the labels-dict probe.  Components therefore resolve their
+instruments **once at construction**:
+
+* :meth:`Counter.slot` returns a :class:`CounterCell` — one mutable float
+  per ``(counter, label tuple)`` series.  The hot path does
+  ``cell.n += amount``: an attribute load, an add, a store.  Label arity
+  is validated at slot-resolution time, so a mislabeled call site fails
+  at registration, not by silently creating a phantom series.
+* Histograms and spans support **1-in-N sampling**
+  (``MetricsRegistry(hist_sample=N, span_sample=N)`` or an explicit
+  interval via :meth:`MetricsRegistry.sampled_histogram`): a deterministic
+  stride countdown records every Nth observation, so sampled output is
+  still bit-reproducible and merge-stable across worker counts.
+
+The legacy ``counter(name).inc(labels=...)`` path still works (it
+resolves a slot per call) but is reserved for cold paths.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -33,8 +54,10 @@ from .flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, NULL_FLIGHT
 
 __all__ = [
     "Counter",
+    "CounterCell",
     "Gauge",
     "Histogram",
+    "HistogramSampler",
     "Span",
     "TraceRecord",
     "MetricsRegistry",
@@ -55,25 +78,69 @@ DEPTH_BUCKETS: tuple[float, ...] = tuple(float(1 << k) for k in range(0, 17))
 SIZE_BUCKETS: tuple[float, ...] = tuple(float(1 << k) for k in range(0, 25, 2))
 
 
+class CounterCell:
+    """One ``(counter, label tuple)`` series, resolved to a bare float slot.
+
+    The hot path increments ``cell.n`` directly (or calls :meth:`inc`);
+    there is no name lookup, no tuple allocation and no dict probe per
+    event.  Cells are shared: every :meth:`Counter.slot` call with the
+    same labels returns the same cell.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0  # int until a float amount lands (small-int fast path)
+
+    def inc(self, amount: float = 1) -> None:
+        self.n += amount
+
+
 class Counter:
     """Monotonically increasing value, optionally split by a label tuple."""
 
-    __slots__ = ("name", "label_names", "values")
+    __slots__ = ("name", "label_names", "_cells")
 
     def __init__(self, name: str, label_names: tuple[str, ...] = ()):
         self.name = name
         self.label_names = label_names
-        self.values: dict[tuple, float] = {}
+        self._cells: dict[tuple, CounterCell] = {}
+
+    def slot(self, labels: tuple = ()) -> CounterCell:
+        """Resolve (and validate) one label series to its mutable cell.
+
+        Label arity is checked here — once, at registration time — so a
+        mislabeled call site raises instead of creating a phantom series
+        that would corrupt CSV export headers.
+        """
+        labels = tuple(labels)
+        if len(labels) != len(self.label_names):
+            raise SimulationError(
+                f"counter {self.name!r} takes {len(self.label_names)} "
+                f"label(s) {self.label_names}, got {labels!r}"
+            )
+        cell = self._cells.get(labels)
+        if cell is None:
+            cell = self._cells[labels] = CounterCell()
+        return cell
 
     def inc(self, amount: float = 1.0, labels: tuple = ()) -> None:
-        self.values[labels] = self.values.get(labels, 0.0) + amount
+        """Cold-path increment: resolves (and arity-checks) the slot per
+        call.  Hot paths cache :meth:`slot` results instead."""
+        self.slot(labels).n += amount
+
+    @property
+    def values(self) -> dict[tuple, float]:
+        """Read-only view: label tuple -> accumulated value."""
+        return {labels: cell.n for labels, cell in self._cells.items()}
 
     @property
     def total(self) -> float:
-        return sum(self.values.values())
+        return sum(cell.n for cell in self._cells.values())
 
     def get(self, labels: tuple = ()) -> float:
-        return self.values.get(labels, 0.0)
+        cell = self._cells.get(tuple(labels))
+        return cell.n if cell is not None else 0.0
 
 
 class Gauge:
@@ -119,14 +186,8 @@ class Histogram:
         self.max = float("-inf")
 
     def observe(self, value: float) -> None:
-        lo, hi = 0, len(self.bounds)
-        while lo < hi:  # first bucket whose upper edge >= value
-            mid = (lo + hi) // 2
-            if value <= self.bounds[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        self.counts[lo] += 1
+        # first bucket whose upper edge >= value; bisect stays in C
+        self.counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
         if value < self.min:
@@ -137,6 +198,36 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+
+class HistogramSampler:
+    """1-in-N front end for a histogram (deterministic stride sampling).
+
+    Records the first observation, then every ``interval``-th one.  The
+    countdown is plain per-sampler state driven only by the (virtual,
+    deterministic) observation stream, so sampled histograms keep the
+    byte-identical merge guarantee across ``--workers N``.  Skipped
+    observations cost one integer decrement.
+    """
+
+    __slots__ = ("hist", "interval", "_countdown")
+
+    def __init__(self, hist: Histogram, interval: int):
+        if interval < 1:
+            raise SimulationError(
+                f"histogram {hist.name}: sample interval must be >= 1"
+            )
+        self.hist = hist
+        self.interval = interval
+        self._countdown = 1  # record the first value, then every Nth
+
+    def observe(self, value: float) -> None:
+        cd = self._countdown - 1
+        if cd:
+            self._countdown = cd
+            return
+        self._countdown = self.interval
+        self.hist.observe(value)
 
 
 @dataclass(frozen=True)
@@ -151,15 +242,17 @@ class TraceRecord:
 class Span:
     """Context manager timing a region against the virtual clock.
 
-    The duration lands in the histogram ``<name>.duration_s`` and, when the
-    registry keeps a trace stream, a ``span`` trace record is emitted with
-    the start time, duration and any extra fields.
+    The duration lands in the histogram ``<name>.duration_s`` (resolved
+    once, at span creation) and, when the registry keeps a trace stream,
+    a ``span`` trace record is emitted with the start time, duration and
+    any extra fields.
     """
 
-    __slots__ = ("_registry", "name", "fields", "_t0")
+    __slots__ = ("_registry", "_hist", "name", "fields", "_t0")
 
     def __init__(self, registry: "MetricsRegistry", name: str, fields: dict[str, Any]):
         self._registry = registry
+        self._hist = registry.histogram(f"{name}.duration_s")
         self.name = name
         self.fields = fields
         self._t0 = 0.0
@@ -171,7 +264,7 @@ class Span:
     def __exit__(self, *exc: Any) -> None:
         end = self._registry.now()
         duration = end - self._t0
-        self._registry.histogram(f"{self.name}.duration_s").observe(duration)
+        self._hist.observe(duration)
         self._registry.event(
             "span", name=self.name, start=self._t0, duration=duration, **self.fields
         )
@@ -181,18 +274,36 @@ class MetricsRegistry:
     """Names → instruments, the bounded trace-event stream, and the
     protocol flight recorder (``flight_capacity=0`` disables the latter —
     instrumented components then cache ``None`` for it, same contract as
-    a disabled registry)."""
+    a disabled registry).
+
+    ``hist_sample`` / ``span_sample`` set the default 1-in-N sampling
+    interval that instrumented components apply to their *per-event*
+    histograms (engine queue depth, network size/depth/transit, logged
+    sizes) and to spans.  ``hist_sample`` defaults to 8 — that is what
+    keeps fully-enabled collection within the ≤1.25× budget; pass
+    ``hist_sample=1`` to record every observation.  ``span_sample``
+    defaults to 1 (every span).  Counters, gauge values and cold-path
+    histograms (e.g. recovery round durations) are always exact
+    regardless of the knobs.
+    """
 
     enabled = True
 
     def __init__(self, clock: Callable[[], float] | None = None,
                  trace_capacity: int = 100_000,
-                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY):
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                 hist_sample: int = 8,
+                 span_sample: int = 1):
+        if hist_sample < 1 or span_sample < 1:
+            raise SimulationError("sample intervals must be >= 1")
         self._clock = clock
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
         self.events: deque[TraceRecord] = deque(maxlen=trace_capacity)
         self.events_dropped = 0
         self._trace_capacity = trace_capacity
+        self.hist_sample = hist_sample
+        self.span_sample = span_sample
+        self._span_countdown = 1
         self.flight = (
             FlightRecorder(flight_capacity, clock)
             if flight_capacity > 0 else NULL_FLIGHT
@@ -205,6 +316,15 @@ class MetricsRegistry:
         """Attach the virtual-clock source (typically ``lambda: engine.now``)."""
         self._clock = clock
         self.flight.bind_clock(clock)
+
+    def bind_time_source(self, src: Any) -> None:
+        """Attach an object exposing ``.now`` (the engine) as the clock.
+
+        Equivalent to ``bind_clock(lambda: src.now)`` for trace events and
+        spans, but lets the flight recorder timestamp with one attribute
+        load instead of a Python-level call per record."""
+        self._clock = lambda: src.now
+        self.flight.bind_time_source(src)
 
     def now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
@@ -231,6 +351,12 @@ class MetricsRegistry:
             )
         return c
 
+    def counter_slot(self, name: str, label_names: tuple[str, ...] = (),
+                     labels: tuple = ()) -> CounterCell:
+        """Register ``name`` and resolve one label series in one step —
+        the construction-time registration idiom for hot paths."""
+        return self.counter(name, label_names).slot(labels)
+
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge, lambda: Gauge(name))
 
@@ -242,7 +368,24 @@ class MetricsRegistry:
             )
         return h
 
-    def span(self, name: str, **fields: Any) -> Span:
+    def sampled_histogram(
+        self, name: str, bounds: tuple[float, ...] = DURATION_BUCKETS,
+        interval: int | None = None,
+    ) -> "Histogram | HistogramSampler":
+        """A histogram behind the registry's (or an explicit) 1-in-N
+        sampling stride; interval 1 returns the bare histogram, so the
+        exact path pays nothing for the option."""
+        h = self.histogram(name, bounds)
+        n = self.hist_sample if interval is None else interval
+        return h if n <= 1 else HistogramSampler(h, n)
+
+    def span(self, name: str, **fields: Any) -> Any:
+        if self.span_sample > 1:
+            cd = self._span_countdown - 1
+            if cd:
+                self._span_countdown = cd
+                return _NULL_INSTRUMENT
+            self._span_countdown = self.span_sample
         return Span(self, name, fields)
 
     # ------------------------------------------------------------------
@@ -250,6 +393,8 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def event(self, kind: str, **fields: Any) -> None:
         if len(self.events) == self._trace_capacity:
+            # live ring semantics: the deque evicts the *oldest* record,
+            # which is the drop being counted here
             self.events_dropped += 1
         self.events.append(TraceRecord(self.now(), kind, fields))
 
@@ -305,14 +450,18 @@ class MetricsRegistry:
     def merge(self, snap: dict[str, Any]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Counters and histograms add; gauges sum their values and keep the
-        maximum high-water mark (after merging, ``value`` is an aggregate,
-        no longer an instantaneous reading).  Trace events keep their
-        original timestamps and respect this registry's capacity; flight
-        buffers concatenate per rank with drop accounting.  Merging is
-        associative and, per instrument, commutative — a parent merging N
-        worker snapshots in task order gets the same totals as one
-        sequential run.
+        Counters and histograms add; gauges sum their values and keep a
+        high-water mark that is never below the merged aggregate (after
+        merging, ``value`` is an aggregate, no longer an instantaneous
+        reading, and ``high_water >= value`` stays invariant).  Trace
+        events keep their original timestamps and respect this registry's
+        capacity — once the stream is full, further merged events are
+        *counted as dropped and not appended*, so the merged stream never
+        silently evicts what an earlier merge contributed.  Flight buffers
+        concatenate per rank with drop accounting.  Merging is associative
+        and, per instrument, commutative — a parent merging N worker
+        snapshots in task order gets the same totals as one sequential
+        run.
         """
         if not snap:
             return
@@ -321,11 +470,16 @@ class MetricsRegistry:
             if kind == "counter":
                 c = self.counter(name, tuple(data["label_names"]))
                 for labels, value in data["values"]:
-                    c.inc(value, tuple(labels))
+                    c.slot(tuple(labels)).n += value
             elif kind == "gauge":
                 g = self.gauge(name)
                 g.value += data["value"]
-                g.high_water = max(g.high_water, data["high_water"])
+                if data["high_water"] > g.high_water:
+                    g.high_water = data["high_water"]
+                if g.value > g.high_water:
+                    # the summed aggregate can exceed every per-worker
+                    # high water; clamp so high_water >= value holds
+                    g.high_water = g.value
             elif kind == "histogram":
                 h = self.histogram(name, tuple(data["bounds"]))
                 for i, n in enumerate(data["counts"]):
@@ -336,10 +490,15 @@ class MetricsRegistry:
                 h.max = max(h.max, data["max"])
             else:
                 raise SimulationError(f"cannot merge instrument type {kind!r}")
+        events = self.events
+        capacity = self._trace_capacity
         for time, kind, fields in snap.get("events", ()):
-            if len(self.events) == self._trace_capacity:
+            if len(events) == capacity:
+                # counted drop must skip the append: appending to a full
+                # deque would evict an *earlier* merged event uncounted
                 self.events_dropped += 1
-            self.events.append(TraceRecord(time, kind, fields))
+                continue
+            events.append(TraceRecord(time, kind, fields))
         self.events_dropped += snap.get("events_dropped", 0)
         flight_snap = snap.get("flight")
         if flight_snap and self.flight.enabled:
@@ -347,14 +506,25 @@ class MetricsRegistry:
 
 
 class _NullInstrument:
-    """Absorbs every instrument method as a no-op."""
+    """Absorbs every instrument method as a no-op.
 
-    __slots__ = ()
+    ``n`` exists (and stays 0.0) so code that resolved a slot from a
+    disabled registry and does ``cell.n += x`` still works; the shared
+    instance is handed out everywhere, so the write is a dead store, not
+    shared state anyone reads back.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0.0
 
     def inc(self, *a: Any, **k: Any) -> None: ...
     def dec(self, *a: Any, **k: Any) -> None: ...
     def set(self, *a: Any, **k: Any) -> None: ...
     def observe(self, *a: Any, **k: Any) -> None: ...
+    def slot(self, labels: tuple = ()) -> "_NullInstrument":
+        return self
     def __enter__(self) -> "_NullInstrument":
         return self
     def __exit__(self, *exc: Any) -> None: ...
@@ -368,22 +538,33 @@ class NullRegistry:
 
     ``events`` is an immutable empty sentinel (not a shared mutable deque):
     nothing can be appended through any code path, so two NullRegistries
-    can never observe each other's state.
+    can never observe each other's state.  Every instrument factory hands
+    out the one shared :class:`_NullInstrument`, so a hot loop that keeps
+    a resolved instrument pays one attribute load and a no-op call.
     """
 
     enabled = False
     events: tuple = ()
     events_dropped = 0
     flight = NULL_FLIGHT
+    hist_sample = 1
+    span_sample = 1
 
     def bind_clock(self, clock: Callable[[], float]) -> None: ...
+    def bind_time_source(self, src: Any) -> None: ...
     def now(self) -> float:
         return 0.0
     def counter(self, name: str, label_names: tuple[str, ...] = ()) -> Any:
         return _NULL_INSTRUMENT
+    def counter_slot(self, name: str, label_names: tuple[str, ...] = (),
+                     labels: tuple = ()) -> Any:
+        return _NULL_INSTRUMENT
     def gauge(self, name: str) -> Any:
         return _NULL_INSTRUMENT
     def histogram(self, name: str, bounds: tuple[float, ...] = ()) -> Any:
+        return _NULL_INSTRUMENT
+    def sampled_histogram(self, name: str, bounds: tuple[float, ...] = (),
+                          interval: int | None = None) -> Any:
         return _NULL_INSTRUMENT
     def span(self, name: str, **fields: Any) -> Any:
         return _NULL_INSTRUMENT

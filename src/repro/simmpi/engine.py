@@ -106,16 +106,21 @@ class Engine:
         # identity comparison, mirroring the cached-instrument pattern
         self._san = sanitizer_for(self.obs)
         if self.obs is not None:
-            self.obs.bind_clock(lambda: self.now)
-            # cache the instrument handles once: _record_dispatch runs per
-            # event, and the registry's name->instrument lookups dominate
-            # its cost at full rate
+            self.obs.bind_time_source(self)
+            # slot-resolve the instruments once: _record_dispatch runs per
+            # event, so it works against bare cells (callback label ->
+            # CounterCell, cached below) rather than registry lookups
             self._disp_counter = self.obs.counter(
                 "engine.events_dispatched", ("callback",)
             )
+            self._disp_cells: dict[Any, Any] = {}
+            # queue depth is sampled 1-in-hist_sample (countdown inlined in
+            # the dispatch loop); the "current" gauge rides the same ticks
             self._depth_hist = self.obs.histogram(
                 "engine.queue_depth", DEPTH_BUCKETS
             )
+            self._depth_interval = self.obs.hist_sample
+            self._depth_cd = 1
             self._depth_gauge = self.obs.gauge("engine.queue_depth.current")
 
     # ------------------------------------------------------------------
@@ -231,14 +236,43 @@ class Engine:
         self._san.engine_pending_audit(live, self._pending)
 
     def _record_dispatch(self, entry: list) -> None:
-        """Attribute the dispatch to the callback's class (cold path)."""
+        """Attribute the dispatch to the callback's qualified name.
+
+        The label cell is cached keyed by the callback's *code object*:
+        bound methods of the same method and every lambda from one call
+        site share a code object, so the cache stays as small as the
+        label cardinality while the per-event key is two C-slot loads
+        (``__func__``/``__code__``) — no qualname string fetch.
+        """
         cb = entry[_CALLBACK]
+        try:
+            key: Any = cb.__code__
+        except AttributeError:
+            key = type(cb)
+        cell = self._disp_cells.get(key)
+        if cell is None:
+            cell = self._resolve_disp_cell(cb, key)
+        cell.n += 1
+        cd = self._depth_cd - 1
+        if cd:
+            self._depth_cd = cd
+        else:
+            self._depth_cd = self._depth_interval
+            depth = len(self._queue)
+            self._depth_hist.observe(depth)
+            gauge = self._depth_gauge
+            gauge.value = depth
+            if depth > gauge.high_water:
+                gauge.high_water = depth
+
+    def _resolve_disp_cell(self, cb: Any, key: Any) -> Any:
+        """Slow path: first dispatch of a callback site — derive the label
+        and bind its counter cell into the code-object cache."""
         func = getattr(cb, "__func__", cb)
         label = getattr(func, "__qualname__", None) or type(cb).__name__
-        self._disp_counter.inc(labels=(label,))
-        depth = len(self._queue)
-        self._depth_hist.observe(depth)
-        self._depth_gauge.set(depth)
+        cell = self._disp_counter.slot((label,))
+        self._disp_cells[key] = cell
+        return cell
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -255,6 +289,18 @@ class Engine:
         queue = self._queue
         heappop = heapq.heappop
         unbounded = until is None and max_events is None
+        # hoist the instrumentation handles: the inlined recording below
+        # touches only locals and bare cells, so the fully-enabled loop
+        # stays free of per-event registry lookups
+        obs_on = self.obs is not None
+        if obs_on:
+            disp_get = self._disp_cells.get
+            depth_interval = self._depth_interval
+            depth_hist_observe = self._depth_hist.observe
+            depth_gauge = self._depth_gauge
+            depth_cd = self._depth_cd
+        san = self._san
+        events_dispatched = self._events_dispatched
         try:
             while True:
                 # drop cancelled garbage that surfaced at the head, then
@@ -285,17 +331,36 @@ class Engine:
                 self.now = time
                 entry[_STATE] = _DISPATCHED
                 self._pending -= 1
-                self._events_dispatched += 1
+                events_dispatched += 1
                 dispatched += 1
-                if self.obs is not None:
-                    self._record_dispatch(entry)
-                if self._san is not None and not (
-                    self._events_dispatched & _AUDIT_MASK
-                ):
+                callback = entry[_CALLBACK]
+                if obs_on:
+                    # inlined _record_dispatch (keep the two in sync)
+                    try:
+                        key = callback.__code__
+                    except AttributeError:
+                        key = type(callback)
+                    cell = disp_get(key)
+                    if cell is None:
+                        cell = self._resolve_disp_cell(callback, key)
+                    cell.n += 1
+                    depth_cd -= 1
+                    if not depth_cd:
+                        depth_cd = depth_interval
+                        depth = len(queue)
+                        depth_hist_observe(depth)
+                        depth_gauge.value = depth
+                        if depth > depth_gauge.high_water:
+                            depth_gauge.high_water = depth
+                if san is not None and not (events_dispatched & _AUDIT_MASK):
+                    self._events_dispatched = events_dispatched
                     self._audit_pending()
-                entry[_CALLBACK]()
+                callback()
         finally:
             self._running = False
+            self._events_dispatched = events_dispatched
+            if obs_on:
+                self._depth_cd = depth_cd
 
     def _peek_time(self) -> float:
         while self._queue and self._queue[0][_STATE] == _CANCELLED:

@@ -107,8 +107,9 @@ class Network:
         self.bytes_sent = 0
         self.obs = obs if (obs is not None and obs.enabled) else None
         if self.obs is not None:
-            # per-transmit/deliver instrument handles, resolved once (the
-            # registry lookup is the dominant cost at full message rate)
+            # per-transmit/deliver instruments, slot-resolved once; channel
+            # cardinality is rank-pair count, so each (src, dst) series is
+            # resolved to its CounterCell pair on first use and cached
             obs = self.obs
             self._msg_counter = obs.counter(
                 "network.channel.messages", ("src", "dst")
@@ -116,13 +117,20 @@ class Network:
             self._bytes_counter = obs.counter(
                 "network.channel.bytes", ("src", "dst")
             )
+            self._chan_cells: dict[tuple[int, int], tuple[Any, Any]] = {}
+            # histograms sample 1-in-hist_sample with countdowns inlined in
+            # the transmit/deliver hot paths (size and depth share the
+            # transmit tick, exactly as their individual samplers would)
             self._size_hist = obs.histogram("network.message_size", SIZE_BUCKETS)
             self._in_flight_gauge = obs.gauge("network.in_flight")
             self._depth_hist = obs.histogram(
                 "network.in_flight_depth", DEPTH_BUCKETS
             )
-            self._delivered_counter = obs.counter("network.messages_delivered")
+            self._delivered_cell = obs.counter_slot("network.messages_delivered")
             self._transit_hist = obs.histogram("network.transit_time_s")
+            self._hist_interval = obs.hist_sample
+            self._tx_cd = 1
+            self._rx_cd = 1
 
     # ------------------------------------------------------------------
     def attach(self, rank: int, receiver: Callable[[Envelope], None]) -> None:
@@ -166,17 +174,32 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += env.size
         if self.obs is not None:
-            self._record_transmit(env)
+            # inlined per-transmit recording: bare cells and plain
+            # arithmetic only, no registry lookups and no method call.
+            # The in-flight gauge rides the sampled ticks — its value is
+            # derived exactly from the legacy counters (sent - delivered -
+            # dropped), so skipping events costs no accuracy at the tick
+            cells = self._chan_cells.get(chan)
+            if cells is None:
+                cells = self._chan_cells[chan] = (
+                    self._msg_counter.slot(chan), self._bytes_counter.slot(chan)
+                )
+            cells[0].n += 1
+            cells[1].n += size
+            cd = self._tx_cd - 1
+            if cd:
+                self._tx_cd = cd
+            else:
+                self._tx_cd = self._hist_interval
+                depth = (self.messages_sent - self.messages_delivered
+                         - self.messages_dropped)
+                gauge = self._in_flight_gauge
+                gauge.value = depth
+                if depth > gauge.high_water:
+                    gauge.high_water = depth
+                self._size_hist.observe(size)
+                self._depth_hist.observe(depth)
         return cpu
-
-    def _record_transmit(self, env: Envelope) -> None:
-        labels = (env.src, env.dst)
-        self._msg_counter.inc(labels=labels)
-        self._bytes_counter.inc(env.size, labels=labels)
-        self._size_hist.observe(env.size)
-        gauge = self._in_flight_gauge
-        gauge.inc()
-        self._depth_hist.observe(gauge.value)
 
     def _deliver(self, env: Envelope) -> None:
         pending = self._in_flight.get(env.dst)
@@ -184,9 +207,17 @@ class Network:
             pending.pop(env.uid, None)
         self.messages_delivered += 1
         if self.obs is not None:
-            self._delivered_counter.inc()
-            self._in_flight_gauge.dec()
-            self._transit_hist.observe(self.engine.now - env.send_time)
+            self._delivered_cell.n += 1
+            cd = self._rx_cd - 1
+            if cd:
+                self._rx_cd = cd
+            else:
+                self._rx_cd = self._hist_interval
+                self._in_flight_gauge.value = (
+                    self.messages_sent - self.messages_delivered
+                    - self.messages_dropped
+                )
+                self._transit_hist.observe(self.engine.now - env.send_time)
         self._receivers[env.dst](env)
 
     # ------------------------------------------------------------------
@@ -207,7 +238,12 @@ class Network:
             self.obs.counter("network.messages_dropped", ("dst",)).inc(
                 dropped, labels=(rank,)
             )
-            self.obs.gauge("network.in_flight").dec(dropped)
+            # the gauge is derived from the counters (see transmit); a purge
+            # is rare enough to resynchronise it eagerly
+            self.obs.gauge("network.in_flight").value = (
+                self.messages_sent - self.messages_delivered
+                - self.messages_dropped
+            )
             self.obs.event("network.purge", rank=rank, dropped=dropped)
         return dropped
 

@@ -167,11 +167,150 @@ def test_snapshot_merge_counters_gauges_histograms():
     merged.merge(b.snapshot())
     assert merged.counter("c", ("k",)).get(("x",)) == 4
     assert merged.gauge("g").value == 6
-    assert merged.gauge("g").high_water == 5  # max, not sum
+    # per-worker high waters were 5 each, but the merged aggregate value
+    # (6) exceeds both — high_water clamps so high_water >= value holds
+    assert merged.gauge("g").high_water == 6
     h = merged.histogram("h", (1.0, 10.0))
     assert h.count == 2 and h.sum == pytest.approx(6.0)
     assert h.min == 3.0 and h.max == 3.0
     assert len(merged.events) == 2
+
+
+def test_counter_slot_resolution():
+    reg = MetricsRegistry()
+    c = reg.counter("hot", ("k",))
+    cell = c.slot(("x",))
+    assert c.slot(("x",)) is cell  # idempotent: one cell per series
+    cell.n += 2.0
+    cell.inc(0.5)
+    assert c.get(("x",)) == 2.5
+    assert c.total == 2.5
+    assert c.values == {("x",): 2.5}
+    # registry one-step registration resolves the same cell
+    assert reg.counter_slot("hot", ("k",), ("x",)) is cell
+
+
+def test_counter_label_arity_rejected():
+    reg = MetricsRegistry()
+    c = reg.counter("c", ("src", "dst"))
+    with pytest.raises(SimulationError):
+        c.slot((1,))
+    with pytest.raises(SimulationError):
+        c.inc(labels=(1, 2, 3))
+    with pytest.raises(SimulationError):
+        reg.counter("plain").inc(labels=("oops",))
+    # the failed resolutions must not have created phantom series
+    assert c.values == {}
+
+
+def test_merged_gauge_high_water_never_below_value():
+    # N workers each peak at 5 then settle at 3: the merged aggregate
+    # value (9) exceeds every per-worker high water, so the clamp keeps
+    # the high_water >= value invariant
+    def worker():
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.inc(5)
+        g.dec(2)
+        return reg.snapshot()
+
+    merged = MetricsRegistry()
+    for _ in range(3):
+        merged.merge(worker())
+    g = merged.gauge("depth")
+    assert g.value == 9
+    assert g.high_water == 9
+    assert g.high_water >= g.value
+
+
+def test_merge_respects_trace_capacity():
+    # a counted drop must skip the append: the merged stream never grows
+    # past capacity, and never silently evicts an earlier merged event
+    src = MetricsRegistry()
+    for i in range(4):
+        src.event("tick", i=i)
+    snap = src.snapshot()
+    dst = MetricsRegistry(trace_capacity=3)
+    dst.merge(snap)
+    assert len(dst.events) == 3
+    assert [r.fields["i"] for r in dst.events] == [0, 1, 2]  # earliest kept
+    assert dst.events_dropped == 1
+    # a second merge drops everything, and drop accounting accumulates
+    dst.merge(snap)
+    assert len(dst.events) == 3
+    assert [r.fields["i"] for r in dst.events] == [0, 1, 2]
+    assert dst.events_dropped == 5
+
+
+def test_merge_accumulates_source_drop_counts():
+    src = MetricsRegistry(trace_capacity=2)
+    for i in range(5):
+        src.event("tick", i=i)
+    assert src.events_dropped == 3
+    dst = MetricsRegistry()
+    dst.merge(src.snapshot())
+    assert len(dst.events) == 2
+    assert dst.events_dropped == 3
+
+
+def test_empty_histogram_min_max_survive_merge():
+    # min=inf/max=-inf sentinels must propagate through snapshot/merge
+    # without poisoning a populated histogram on the other side
+    empty = MetricsRegistry()
+    empty.histogram("h", (1.0, 10.0))
+    full = MetricsRegistry()
+    full.histogram("h", (1.0, 10.0)).observe(3.0)
+
+    merged = MetricsRegistry()
+    merged.merge(empty.snapshot())
+    merged.merge(full.snapshot())
+    h = merged.histogram("h", (1.0, 10.0))
+    assert h.count == 1
+    assert h.min == 3.0 and h.max == 3.0
+
+    still_empty = MetricsRegistry()
+    still_empty.merge(empty.snapshot())
+    e = still_empty.histogram("h", (1.0, 10.0))
+    assert e.count == 0
+    assert e.min == float("inf") and e.max == float("-inf")
+
+
+def test_empty_histogram_exports_none_min_max_after_merge():
+    from repro.obs import metric_rows
+
+    merged = MetricsRegistry()
+    src = MetricsRegistry()
+    src.histogram("h", (1.0, 10.0))
+    merged.merge(src.snapshot())
+    row = next(r for r in metric_rows(merged) if r["metric"] == "h")
+    assert row["count"] == 0
+    assert row["min"] is None and row["max"] is None
+
+
+def test_histogram_sampling_records_every_nth():
+    reg = MetricsRegistry(hist_sample=3)
+    s = reg.sampled_histogram("h", (10.0, 100.0))
+    for v in range(1, 10):  # 1..9: samples land on 1, 4, 7
+        s.observe(float(v))
+    h = reg.histogram("h", (10.0, 100.0))
+    assert h.count == 3
+    assert h.sum == pytest.approx(1.0 + 4.0 + 7.0)
+    # interval 1 hands back the bare histogram — the exact path is free
+    exact = reg.sampled_histogram("h2", (10.0, 100.0), interval=1)
+    assert exact is reg.histogram("h2", (10.0, 100.0))
+    with pytest.raises(SimulationError):
+        MetricsRegistry(hist_sample=0)
+
+
+def test_span_sampling_records_every_nth():
+    t = {"now": 0.0}
+    reg = MetricsRegistry(clock=lambda: t["now"], span_sample=2)
+    for i in range(4):  # spans 1 and 3 sampled
+        with reg.span("phase"):
+            t["now"] += 1.0
+    h = reg.histogram("phase.duration_s")
+    assert h.count == 2
+    assert len([r for r in reg.events if r.kind == "span"]) == 2
 
 
 def test_merge_rejects_histogram_bounds_clash():

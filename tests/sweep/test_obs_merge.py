@@ -48,6 +48,46 @@ def test_merged_obs_identical_inline_vs_pool():
     assert [r.obs for r in seq_results] == [r.obs for r in par_results]
 
 
+def slot_task(params):
+    """Task instrumented the slot-resolved way (the hot-path idiom):
+    cells bound once, bare ``.n`` bumps, a per-rank flight sink."""
+    obs = params["obs"]
+    n = params["n"]
+    runs = obs.counter_slot("slot.runs")
+    sized = obs.counter("slot.bytes", ("src",)).slot((n,))
+    for _ in range(n):
+        runs.n += 1
+        sized.n += 8
+    obs.histogram("slot.size", (1.0, 10.0)).observe(float(n))
+    sink = obs.flight.sink(0)
+    sink.n += 1
+    sink.append((sink.time.now, "send", 0, -1, n, 0, 0, 0, 0, None))
+    return {"n": n}
+
+
+def test_merged_export_byte_identical_workers_1_vs_4():
+    """The PR 3 guarantee under the slot API: every exported artefact of
+    the merged parent registry is byte-for-byte identical whether the
+    sweep ran inline or on four workers."""
+    from repro.obs.export import dump_flight, dump_metrics
+
+    dumps = {}
+    for workers in (1, 4):
+        parent = MetricsRegistry()
+        results = run_sweep(slot_task, tasks(), workers=workers,
+                            obs=parent, collect_obs=True)
+        assert all(r.ok for r in results)
+        dumps[workers] = (
+            dump_metrics(parent, fmt="jsonl"),
+            dump_metrics(parent, fmt="csv"),
+            dump_flight(parent, fmt="jsonl"),
+        )
+    assert dumps[1] == dumps[4]
+    # sanity: the comparison is not vacuous
+    assert "slot.runs" in dumps[1][0]
+    assert dumps[1][2].count('"send"') == 4
+
+
 def test_merge_happens_in_task_order():
     parent, _results = run(workers=3)
     # flight records concatenate in task order: uid sequence 1..4
