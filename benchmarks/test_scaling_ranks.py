@@ -1,0 +1,121 @@
+"""Rank-scaling benchmark: events/s and peak RSS at 256 / 1024 / 4096 ranks.
+
+Each size runs one *quick* Table I cell (CG, 4 clusters, 4 iterations —
+the same cell the CI large-scale smoke drives) in a fresh subprocess, so
+the recorded peak RSS is that size's own footprint rather than the
+monotone maximum across the sweep.  The artefact ``results/BENCH_scale.json``
+records, per size: wall seconds, engine events dispatched, events/s,
+messages sent, peak RSS, and bytes of RSS per rank — the numbers behind
+the "Scaling to thousands of ranks" section of docs/performance.md.
+
+The 4096-rank cell is the PR's scaling acceptance: a quick Table I sweep
+at 4K ranks must complete in minutes (asserted < 300 s here).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from conftest import emit_json
+
+RANKS = [256, 1024, 4096]
+NITERS = 4
+CLUSTERS = 4
+
+_RUNNER = r"""
+import json, resource, sys, time
+from repro.apps.cg import CGKernel
+from repro.core import ProtocolConfig, build_ft_world
+from repro.core.clustering import block_clusters
+from repro.analysis.rollback import SpeSampler, rollback_analysis
+
+nprocs = int(sys.argv[1])
+niters = int(sys.argv[2])
+nclusters = int(sys.argv[3])
+factory = lambda r, s: CGKernel(r, s, niters=niters, compute_time=1e-5)
+config = ProtocolConfig(
+    checkpoint_interval=6e-5,
+    cluster_of=block_clusters(nprocs, nclusters),
+    cluster_stagger=8e-6, rank_stagger=2e-7,
+    lightweight=True, retain_payloads=False,
+)
+t0 = time.perf_counter()
+world, controller = build_ft_world(nprocs, factory, config, copy_payloads=False)
+sampler = SpeSampler(controller, interval=7e-5)
+sampler.arm()
+world.launch()
+world.run()
+t_sim = time.perf_counter() - t0
+if not sampler.snapshots:
+    sampler.take()
+t1 = time.perf_counter()
+rb = rollback_analysis(sampler.snapshots, nprocs)
+t_analysis = time.perf_counter() - t1
+wall = time.perf_counter() - t0
+maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "ranks": nprocs,
+    "wall_s": round(wall, 3),
+    "sim_wall_s": round(t_sim, 3),
+    "analysis_wall_s": round(t_analysis, 3),
+    "events_dispatched": world.engine.events_dispatched,
+    "events_per_s": round(world.engine.events_dispatched / t_sim),
+    "messages_sent": world.network.messages_sent,
+    "snapshots": len(sampler.snapshots),
+    "pct_rollback": round(rb.percent, 2),
+    "peak_rss_mb": round(maxrss_kb / 1024, 1),
+    "rss_bytes_per_rank": round(maxrss_kb * 1024 / nprocs),
+}))
+"""
+
+
+def _run_cell(nprocs: int) -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "src")
+    env["PYTHONPATH"] = src
+    out = subprocess.run(
+        [sys.executable, "-c", _RUNNER, str(nprocs), str(NITERS), str(CLUSTERS)],
+        capture_output=True, text=True, env=env, timeout=900, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    results = [_run_cell(p) for p in RANKS]
+    emit_json("BENCH_scale.json", {
+        "kernel": "CG",
+        "niters": NITERS,
+        "clusters": CLUSTERS,
+        "sizes": {str(r["ranks"]): r for r in results},
+    })
+    return results
+
+
+def test_scaling_sweep_records_artifact(scaling_results):
+    assert [r["ranks"] for r in scaling_results] == RANKS
+    for r in scaling_results:
+        assert r["events_dispatched"] > 0
+        assert r["peak_rss_mb"] > 0
+
+
+def test_4096_rank_quick_table1_completes_in_minutes(scaling_results):
+    """The scaling acceptance: a 4K-rank quick Table I cell — full
+    protocol stack, SPE sampling, offline rollback analysis — in minutes,
+    not hours."""
+    big = scaling_results[-1]
+    assert big["ranks"] == 4096
+    assert big["wall_s"] < 300, f"4096-rank cell took {big['wall_s']}s"
+
+
+def test_memory_scales_subquadratically(scaling_results):
+    """Flat tables + slotted records: growing ranks 16x must not grow
+    peak RSS anywhere near 256x (quadratic would); allow 32x headroom
+    over linear for index overhead."""
+    small, big = scaling_results[0], scaling_results[-1]
+    ratio = big["peak_rss_mb"] / small["peak_rss_mb"]
+    assert ratio < 32, f"peak RSS grew {ratio:.0f}x for 16x ranks"

@@ -48,11 +48,38 @@ def cg_grid(size: int) -> tuple[int, int]:
     return nprows, npcols
 
 
+#: (n, seed) -> shared SPD matrix / rhs vector.  Every rank builds the
+#: *same* deterministic operator, so at 4K ranks rebuilding it per rank is
+#: p× redundant O(n^3) work (the dominant setup cost of large exact-mode
+#: worlds).  The cached arrays are frozen read-only; ranks only ever take
+#: views (``a_block``) or copies (``b_j.copy()``), never mutate them.
+_MATRIX_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_RHS_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
 def _spd_matrix(n: int, seed: int = 2011) -> np.ndarray:
     """Deterministic well-conditioned SPD matrix (same on every rank)."""
-    rng = np.random.default_rng(seed)
-    m = rng.standard_normal((n, n)) / np.sqrt(n)
-    return m.T @ m + np.eye(n)
+    key = (n, seed)
+    a = _MATRIX_CACHE.get(key)
+    if a is None:
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n)) / np.sqrt(n)
+        a = m.T @ m + np.eye(n)
+        a.setflags(write=False)
+        _MATRIX_CACHE[key] = a
+    return a
+
+
+def _rhs_vector(n: int, seed: int = 99) -> np.ndarray:
+    """Deterministic right-hand side (same on every rank), cached like the
+    matrix — callers must copy before mutating."""
+    key = (n, seed)
+    b = _RHS_CACHE.get(key)
+    if b is None:
+        b = np.random.default_rng(seed).standard_normal(n)
+        b.setflags(write=False)
+        _RHS_CACHE[key] = b
+    return b
 
 
 class CGKernel(RankProgram):
@@ -86,8 +113,7 @@ class CGKernel(RankProgram):
                 self.row * block:(self.row + 1) * block,
                 self.col * block:(self.col + 1) * block,
             ]
-            rng = np.random.default_rng(99)  # same rhs on all ranks
-            b = rng.standard_normal(n)
+            b = _rhs_vector(n)  # same rhs on all ranks
             b_j = b[self.col * block:(self.col + 1) * block]
         else:
             self.a_block = np.eye(block) * 0.5

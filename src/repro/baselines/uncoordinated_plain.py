@@ -21,7 +21,7 @@ import numpy as np
 
 from ..analysis.rollback import SpeSampler, rollback_analysis
 from ..core.controller import ProtocolConfig, build_ft_world
-from ..core.recovery import compute_recovery_line
+from ..core.recovery import RecoveryLineSolver
 
 __all__ = ["DominoStats", "run_domino_analysis", "plain_uncoordinated_config"]
 
@@ -78,8 +78,11 @@ def run_domino_analysis(
     hit_beginning = 0
     trials = 0
     for snap in sampler.snapshots:
+        # one solver per snapshot: the inbound-edge index is shared across
+        # all nprocs failure trials instead of being rebuilt per trial
+        solver = RecoveryLineSolver(snap.spe_tables)
         for f in range(nprocs):
-            rl = compute_recovery_line(snap.spe_tables, {f: snap.epochs[f]})
+            rl = solver.solve({f: snap.epochs[f]})
             trials += 1
             if any(epoch <= 1 for epoch, _ in rl.values()):
                 hit_beginning += 1

@@ -32,7 +32,8 @@ build on.  Both produce identical logging decisions (tested).
 from __future__ import annotations
 
 import copy as _copy
-from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ProtocolError
@@ -46,7 +47,7 @@ DEFAULT_EAGER_THRESHOLD = 1024
 DEFAULT_MAX_UNACKED = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChannelMessage:
     """What travels on the channel, as far as the ack logic cares."""
 
@@ -68,7 +69,7 @@ class AckStats:
     piggybacks_applied: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Retained:
     ssn: int
     size: int
@@ -206,8 +207,11 @@ class SenderChannel:
         self.stats.piggybacks_applied += 1
         if self.obs is not None:
             self._c_piggybacks.n += 1
-        resolved = [r for r in self.retained if r.ssn <= last_ssn]
-        self.retained = [r for r in self.retained if r.ssn > last_ssn]
+        # retained is in ascending ssn order (sends append monotonically and
+        # piggybacks only cut prefixes), so the resolved set is a prefix
+        cut = bisect_right(self.retained, last_ssn, key=lambda r: r.ssn)
+        resolved = self.retained[:cut]
+        self.retained = self.retained[cut:]
         for r in resolved:
             if r.epoch_send < receiver_epoch:
                 # conservative: the receiver may have crossed an epoch
@@ -219,10 +223,12 @@ class SenderChannel:
                 self.stats.copies_dropped += 1
 
     def _pop(self, ssn: int) -> _Retained:
+        # both buckets are in ascending ssn order (see on_piggyback), so a
+        # binary search replaces the scan; ssns are unique across buckets
         for bucket in (self.awaiting_ack, self.retained):
-            for i, r in enumerate(bucket):
-                if r.ssn == ssn:
-                    return bucket.pop(i)
+            i = bisect_left(bucket, ssn, key=lambda r: r.ssn)
+            if i < len(bucket) and bucket[i].ssn == ssn:
+                return bucket.pop(i)
         raise ProtocolError(f"explicit ack for unknown ssn {ssn}")
 
 

@@ -102,6 +102,11 @@ class SDProtocol(ProtocolHook):
         self._spe_uploaded_round = 0
         #: phase -> {src: date of the last orphan expected from src}
         self.orph_expected: dict[int, dict[int, int]] = {}
+        #: inverted orphan index: (src, date) -> FIFO bucket of phases
+        #: expecting that message as their last orphan — makes the
+        #: per-suppressed-duplicate countdown O(1) instead of a scan over
+        #: every phase bucket (rebuilt with orph_expected each round)
+        self._orph_lookup: dict[tuple[int, int], list[int]] = {}
         #: phase -> outstanding orphan-sender count (paper's OrphCount)
         self.orph_count: dict[int, int] = {}
         #: phase -> logged messages to replay when the phase becomes ready
@@ -198,7 +203,7 @@ class SDProtocol(ProtocolHook):
             if self.controller.config.retain_payloads
             else None
         )
-        st.non_ack.append(
+        st.na_append(
             PendingAck(
                 dst=env.dst,
                 tag=env.tag,
@@ -230,7 +235,8 @@ class SDProtocol(ProtocolHook):
                 for rec in acks:
                     self._on_ack(src, rec)
         date = meta["date"]
-        if st.is_duplicate(env.src, date):
+        # inlined ProtocolState.is_duplicate: runs once per delivery
+        if date <= st.last_date_from.get(env.src, 0):
             # A re-emission during recovery of a message this process still
             # holds the effects of.  Check whether it is the last expected
             # orphan of one of our phases (lines 29-32).
@@ -369,20 +375,27 @@ class SDProtocol(ProtocolHook):
         # One NoOrphan notification per drained (phase, sender) pair: the
         # recovery process aggregates per-sender so it can remap stale
         # phase buckets recorded in an abandoned execution branch (see
-        # RecoveryProcess._aggregate_notifications).
-        for phase, expected in self.orph_expected.items():
-            if expected.get(src) == date:
-                del expected[src]
-                self.orph_count[phase] -= 1
-                if self.orph_count[phase] < 0:
-                    raise ProtocolError(
-                        f"rank {self.rank}: orphan count for phase {phase} went negative"
-                    )
-                self._ctl_to_recovery(
-                    CTL.NO_ORPHAN,
-                    {"phase": phase, "sender": src, "round": self.round},
-                )
-                return
+        # RecoveryProcess._aggregate_notifications).  The inverted index
+        # holds phases in orph_expected insertion order, so popping the
+        # bucket front drains pairs in exactly the order the old full
+        # scan over orph_expected would have matched them.
+        key = (src, date)
+        bucket = self._orph_lookup.get(key)
+        if not bucket:
+            return
+        phase = bucket.pop(0)
+        if not bucket:
+            del self._orph_lookup[key]
+        del self.orph_expected[phase][src]
+        self.orph_count[phase] -= 1
+        if self.orph_count[phase] < 0:
+            raise ProtocolError(
+                f"rank {self.rank}: orphan count for phase {phase} went negative"
+            )
+        self._ctl_to_recovery(
+            CTL.NO_ORPHAN,
+            {"phase": phase, "sender": src, "round": self.round},
+        )
 
     # ------------------------------------------------------------------
     # Acknowledgement handling → logging decision (Fig. 3 lines 34-39)
@@ -394,11 +407,7 @@ class SDProtocol(ProtocolHook):
         obs = self._ack_obs.setdefault(src, {})
         if epoch_recv > obs.get(date, 0):
             obs[date] = epoch_recv
-        entry = None
-        for i, pa in enumerate(st.non_ack):
-            if pa.dst == src and pa.date == date:
-                entry = st.non_ack.pop(i)
-                break
+        entry = st.na_pop(src, date)
         if entry is None:
             # No NonAck record: either the send was rolled away with a
             # restored checkpoint, or this acknowledges a log/duplicate
@@ -406,10 +415,10 @@ class SDProtocol(ProtocolHook):
             # land in a later epoch than the abandoned branch's reception —
             # refresh the bookkeeping monotonically (a too-high reception
             # epoch only over-replays/over-rolls-back, never loses data).
-            for lm in st.logs:
-                if lm.dst == src and lm.date == date:
-                    lm.epoch_recv = max(lm.epoch_recv, epoch_recv)
-                    return
+            lm = st.lg_find(src, date)
+            if lm is not None:
+                lm.epoch_recv = max(lm.epoch_recv, epoch_recv)
+                return
             epoch_send = payload.get("epoch_send")
             if epoch_send is not None and not (
                 self.controller.config.log_cross_epoch and epoch_send < epoch_recv
@@ -422,17 +431,17 @@ class SDProtocol(ProtocolHook):
                 st.record_spe(src, epoch_send, epoch_recv)
             return
         if self.controller.config.log_cross_epoch and entry.epoch_send < epoch_recv:
-            for lm in st.logs:
-                if lm.dst == entry.dst and lm.date == entry.date:
-                    # replayed NonAck entry re-acked: refresh, don't duplicate
-                    lm.epoch_recv = max(lm.epoch_recv, epoch_recv)
-                    return
+            lm = st.lg_find(entry.dst, entry.date)
+            if lm is not None:
+                # replayed NonAck entry re-acked: refresh, don't duplicate
+                lm.epoch_recv = max(lm.epoch_recv, epoch_recv)
+                return
             if self.san is not None:
                 self.san.logged_cross_epoch(
                     self.rank, entry.epoch_send, epoch_recv,
                     self.controller.config.log_cross_epoch,
                 )
-            st.logs.append(
+            st.lg_append(
                 LoggedMessage(
                     dst=entry.dst,
                     tag=entry.tag,
@@ -602,8 +611,11 @@ class SDProtocol(ProtocolHook):
             for src, date in per_src.items():
                 if src in rl and date > rl[src][1]:
                     self.orph_expected.setdefault(phase, {})[src] = date
+        self._orph_lookup = {}
         for phase, expected in self.orph_expected.items():
             self.orph_count[phase] = len(expected)
+            for src, date in expected.items():
+                self._orph_lookup.setdefault((src, date), []).append(phase)
         # Replay lists (lines 65-67): logged messages whose reception was
         # rolled back, plus unacknowledged messages to rolled-back peers
         # (covers messages lost in flight with the failed process).
@@ -729,10 +741,8 @@ class SDProtocol(ProtocolHook):
         env.meta["epoch"] = epoch_send
         env.meta["phase"] = phase_send
         env.meta["replayed"] = True
-        if relog and not any(
-            pa.dst == dst and pa.date == date for pa in self.state.non_ack
-        ):
-            self.state.non_ack.append(
+        if relog and not self.state.na_contains(dst, date):
+            self.state.na_append(
                 PendingAck(dst=dst, tag=tag, payload=retention_copy(payload),
                            size=size, date=date, epoch_send=epoch_send,
                            phase_send=phase_send, uid=orig_uid)

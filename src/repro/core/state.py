@@ -41,9 +41,14 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingAck:
-    """A sent message awaiting acknowledgement (paper's ``NonAck`` entry)."""
+    """A sent message awaiting acknowledgement (paper's ``NonAck`` entry).
+
+    Slotted: a 4K-rank world holds one of these per in-flight message, so
+    the per-record ``__dict__`` was the single largest protocol-state
+    memory term (see docs/performance.md, "Scaling to thousands of ranks").
+    """
 
     dst: int
     tag: int
@@ -57,7 +62,7 @@ class PendingAck:
     uid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LoggedMessage:
     """A sender-logged message (paper's ``Logs`` entry, Fig. 3 line 37)."""
 
@@ -72,7 +77,7 @@ class LoggedMessage:
     uid: int = 0       # envelope uid of the original emission (diagnostics)
 
 
-@dataclass
+@dataclass(slots=True)
 class EpochRecord:
     """One epoch's entry in ``SPE``.
 
@@ -85,7 +90,7 @@ class EpochRecord:
     recv_epoch: dict[int, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtocolState:
     """Everything Fig. 3 keeps per application process.
 
@@ -94,6 +99,25 @@ class ProtocolState:
     in flight when *both* endpoints fail can still be replayed; the paper's
     multiple-failure argument relies on "all the information needed is
     included in the checkpoint").
+
+    Hot-path layout.  The per-delivery and per-ack paths go through row
+    caches and auxiliary indexes instead of nested dict walks:
+
+    * ``record_rpp`` writes into a cached reference to the current phase's
+      RPP row (revalidated only when ``phase`` moved);
+    * ``record_spe`` keeps the last-touched epoch's :class:`EpochRecord`
+      bound (acks overwhelmingly confirm sends of one epoch at a time);
+    * ``non_ack`` and ``logs`` stay plain lists — tests, the chaos
+      harness and garbage collection mutate them directly — but carry
+      *derived* ``(dst, date)`` indexes used by the ack/replay paths.
+      Every index read first checks that the list still has the length
+      (and, for ``logs``, the identity) it had when the index was built
+      and rebuilds it otherwise, so direct external mutation can never
+      make an index lookup disagree with a fresh list scan.
+
+    All cache/index fields are excluded from comparison and repr: they are
+    derived state, and ``deepcopy`` (checkpoints) preserves the aliasing
+    between an index and its list via the memo, so copies stay coherent.
     """
 
     date: int = 0
@@ -108,6 +132,24 @@ class ProtocolState:
     last_date_from: dict[int, int] = field(default_factory=dict)
     #: messages delivered (protocol-level receive count, for stats)
     delivered_count: int = 0
+    # --- derived row caches / indexes (see class docstring) -------------
+    _rpp_phase: int = field(default=-1, repr=False, compare=False)
+    _rpp_row: dict[int, int] | None = field(default=None, repr=False, compare=False)
+    _spe_epoch: int = field(default=-1, repr=False, compare=False)
+    _spe_rec: EpochRecord | None = field(default=None, repr=False, compare=False)
+    #: (dst, date) -> FIFO bucket of matching non_ack entries
+    _na_index: dict[tuple[int, int], list[PendingAck]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _na_len: int = field(default=-1, repr=False, compare=False)
+    #: (dst, date) -> first matching log entry (scan-equivalent: first wins)
+    _lg_index: dict[tuple[int, int], LoggedMessage] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _lg_len: int = field(default=-1, repr=False, compare=False)
+    _lg_list: list[LoggedMessage] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @staticmethod
     def initial(initial_epoch: int = 1) -> "ProtocolState":
@@ -123,7 +165,15 @@ class ProtocolState:
         return self.date
 
     def record_rpp(self, src: int, date: int) -> None:
-        self.rpp.setdefault(self.phase, {})[src] = date
+        row = self._rpp_row
+        if row is None or self._rpp_phase != self.phase:
+            phase = self.phase
+            row = self.rpp.get(phase)
+            if row is None:
+                row = self.rpp[phase] = {}
+            self._rpp_row = row
+            self._rpp_phase = phase
+        row[src] = date
         prev = self.last_date_from.get(src, 0)
         if date <= prev:
             raise AssertionError(
@@ -132,17 +182,116 @@ class ProtocolState:
         self.last_date_from[src] = date
 
     def record_spe(self, dst: int, epoch_send: int, epoch_recv: int) -> None:
-        rec = self.spe.get(epoch_send)
-        if rec is None:
-            # the epoch record predates GC or the restore point; recreate
-            rec = self.spe[epoch_send] = EpochRecord(start_date=0)
-        rec.recv_epoch[dst] = max(rec.recv_epoch.get(dst, 0), epoch_recv)
+        rec = self._spe_rec
+        if rec is None or self._spe_epoch != epoch_send:
+            rec = self.spe.get(epoch_send)
+            if rec is None:
+                # the epoch record predates GC or the restore point; recreate
+                rec = self.spe[epoch_send] = EpochRecord(start_date=0)
+            self._spe_rec = rec
+            self._spe_epoch = epoch_send
+        cells = rec.recv_epoch
+        if epoch_recv > cells.get(dst, 0):
+            cells[dst] = epoch_recv
 
     def begin_epoch(self) -> None:
         """Advance to the next epoch (at a checkpoint): Fig. 3 lines 43-45."""
         self.epoch += 1
         self.phase += 1
         self.spe[self.epoch] = EpochRecord(start_date=self.date)
+
+    # ------------------------------------------------------------------
+    # non_ack / logs auxiliary indexes
+    # ------------------------------------------------------------------
+    def _na_rebuild(self) -> dict[tuple[int, int], list[PendingAck]]:
+        idx: dict[tuple[int, int], list[PendingAck]] = {}
+        for pa in self.non_ack:
+            key = (pa.dst, pa.date)
+            bucket = idx.get(key)
+            if bucket is None:
+                idx[key] = [pa]
+            else:
+                bucket.append(pa)
+        self._na_index = idx
+        self._na_len = len(self.non_ack)
+        return idx
+
+    def na_append(self, pa: PendingAck) -> None:
+        """Append to ``non_ack`` keeping the ``(dst, date)`` index in step."""
+        idx = self._na_index
+        if idx is None or self._na_len != len(self.non_ack):
+            self.non_ack.append(pa)
+            self._na_rebuild()
+            return
+        self.non_ack.append(pa)
+        self._na_len += 1
+        key = (pa.dst, pa.date)
+        bucket = idx.get(key)
+        if bucket is None:
+            idx[key] = [pa]
+        else:
+            bucket.append(pa)
+
+    def na_contains(self, dst: int, date: int) -> bool:
+        idx = self._na_index
+        if idx is None or self._na_len != len(self.non_ack):
+            idx = self._na_rebuild()
+        return (dst, date) in idx
+
+    def na_pop(self, dst: int, date: int) -> PendingAck | None:
+        """Remove and return the first ``non_ack`` entry matching
+        ``(dst, date)`` — exactly what the historical front-to-back scan
+        returned — or ``None``."""
+        idx = self._na_index
+        if idx is None or self._na_len != len(self.non_ack):
+            idx = self._na_rebuild()
+        key = (dst, date)
+        bucket = idx.get(key)
+        if bucket is None:
+            return None
+        pa = bucket.pop(0)
+        if not bucket:
+            del idx[key]
+        non_ack = self.non_ack
+        for i, x in enumerate(non_ack):
+            if x is pa:
+                non_ack.pop(i)
+                break
+        self._na_len = len(non_ack)
+        return pa
+
+    def _lg_rebuild(self) -> dict[tuple[int, int], LoggedMessage]:
+        idx: dict[tuple[int, int], LoggedMessage] = {}
+        for lm in self.logs:
+            idx.setdefault((lm.dst, lm.date), lm)
+        self._lg_index = idx
+        self._lg_len = len(self.logs)
+        self._lg_list = self.logs
+        return idx
+
+    def lg_append(self, lm: LoggedMessage) -> None:
+        """Append to ``logs`` keeping the ``(dst, date)`` index in step."""
+        idx = self._lg_index
+        if (idx is None or self._lg_list is not self.logs
+                or self._lg_len != len(self.logs)):
+            self.logs.append(lm)
+            self._lg_rebuild()
+            return
+        self.logs.append(lm)
+        self._lg_len += 1
+        idx.setdefault((lm.dst, lm.date), lm)
+
+    def lg_find(self, dst: int, date: int) -> LoggedMessage | None:
+        """First log entry matching ``(dst, date)``, or ``None`` — the
+        index-backed equivalent of scanning ``logs`` front to back.  The
+        controller's garbage collector and the chaos harness rebind or
+        filter ``logs`` wholesale; the identity + length guard detects
+        both and rebuilds."""
+        idx = self._lg_index
+        if (idx is None or self._lg_list is not self.logs
+                or self._lg_len != len(self.logs)):
+            idx = self._lg_rebuild()
+        return idx.get((dst, date))
 
     # ------------------------------------------------------------------
     # Checkpoint / restore

@@ -62,25 +62,25 @@ def perfetto_trace(source: Any, nprocs: int | None = None) -> dict[str, Any]:
 
     ``source`` is a :class:`~repro.obs.registry.MetricsRegistry`, a
     :class:`~repro.obs.flight.FlightRecorder`, or a flight snapshot.
-    ``nprocs`` optionally forces empty lanes for ranks that never recorded
-    (keeps lane numbering stable across runs).
+    ``nprocs`` is accepted for compatibility but ranks that never recorded
+    are *not* materialised: a fabricated full-length lane per silent rank
+    turns a sparse failure trace into O(p) filler at 4K ranks (Perfetto
+    numbers the lanes it does see by pid, so ordering stays stable).
     """
     flight = _flight_of(source)
     events: list[dict[str, Any]] = []
-    ranks = flight.ranks()
-    if nprocs is not None:
-        ranks = sorted(set(ranks) | set(range(nprocs)))
+    per_rank = [
+        (rank, recs)
+        for rank in flight.ranks()
+        for recs in (list(flight.records(rank=rank)),)
+        if recs
+    ]
 
     sends: dict[int, tuple] = {}
     delivers: dict[int, tuple] = {}
-    end_ts = 0.0
-    for rank in ranks:
-        recs = list(flight.records(rank=rank))
-        if recs:
-            end_ts = max(end_ts, recs[-1][0])
+    end_ts = max((recs[-1][0] for _rank, recs in per_rank), default=0.0)
 
-    for rank in ranks:
-        recs = list(flight.records(rank=rank))
+    for rank, recs in per_rank:
         # state spans: compute until a failure/rollback, recovery until the
         # rank reports Running again
         span_start = 0.0

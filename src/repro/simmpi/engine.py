@@ -36,10 +36,12 @@ from ..errors import SimulationError
 from ..lint.sanitize import AUDIT_INTERVAL, sanitizer_for
 from ..obs.registry import DEPTH_BUCKETS
 
-__all__ = ["Engine", "EventHandle"]
+__all__ = ["Engine", "EventHandle", "RunHandle", "RunMemberHandle"]
 
-# Queue-entry slots: [time, seq, state, callback].
+# Queue-entry slots: [time, seq, state, callback] for singleton events;
+# run entries carry two extra slots, [..., items, live] (see RunHandle).
 _TIME, _SEQ, _STATE, _CALLBACK = 0, 1, 2, 3
+_ITEMS, _LIVE = 4, 5
 # Entry states.
 _PENDING, _CANCELLED, _DISPATCHED = 0, 1, 2
 
@@ -78,6 +80,98 @@ class EventHandle:
         engine._pending -= 1
         engine._cancelled += 1
         engine._maybe_compact()
+
+
+class RunHandle:
+    """Handle for a *run entry*: one queue entry carrying a batch of
+    logical events at a shared timestamp.
+
+    A run entry is ``[time, seq, state, callback, items, live]`` — the heap
+    is popped once and ``callback(items)`` dispatches every item, so a
+    burst of ``n`` same-instant events costs one sift instead of ``n``.
+    ``items`` may contain ``None`` holes where members were cancelled; the
+    callback must skip them.  ``live`` counts the non-hole members and is
+    what the engine's event accounting (``pending``, ``events_dispatched``,
+    obs dispatch counters) is kept in terms of, so a run of ``n`` members
+    is indistinguishable from ``n`` singleton events in every counter.
+    """
+
+    __slots__ = ("_entry", "_engine")
+
+    def __init__(self, entry: list, engine: "Engine"):
+        self._entry = entry
+        self._engine = engine
+
+    @property
+    def time(self) -> float:
+        return self._entry[_TIME]
+
+    @property
+    def open(self) -> bool:
+        """True while the run may still absorb members: it has not been
+        dispatched or cancelled, and *no other event has been scheduled
+        since* (its sequence number is still the engine's latest).  The
+        second condition is what makes :meth:`append` order-safe — an
+        appended member dispatches exactly where a fresh singleton would
+        have (same time, next sequence slot, nothing in between)."""
+        entry = self._entry
+        return entry[_STATE] == _PENDING and self._engine._seq == entry[_SEQ]
+
+    def append(self, item: Any) -> "RunMemberHandle":
+        """Add a member to a still-:attr:`open` run (caller checks)."""
+        entry = self._entry
+        items = entry[_ITEMS]
+        idx = len(items)
+        items.append(item)
+        entry[_LIVE] += 1
+        self._engine._pending += 1
+        return RunMemberHandle(entry, idx, self._engine)
+
+    def member(self, idx: int) -> "RunMemberHandle":
+        """Cancellation handle for one member of the run."""
+        return RunMemberHandle(self._entry, idx, self._engine)
+
+    def cancel(self) -> None:
+        """Cancel every remaining member (and the entry itself)."""
+        entry = self._entry
+        if entry[_STATE] != _PENDING:
+            return
+        entry[_STATE] = _CANCELLED
+        engine = self._engine
+        engine._pending -= entry[_LIVE]
+        entry[_LIVE] = 0
+        engine._cancelled += 1
+        engine._maybe_compact()
+
+
+class RunMemberHandle:
+    """Cancels a single logical event inside a run entry."""
+
+    __slots__ = ("_entry", "_idx", "_engine")
+
+    def __init__(self, entry: list, idx: int, engine: "Engine"):
+        self._entry = entry
+        self._idx = idx
+        self._engine = engine
+
+    @property
+    def cancelled(self) -> bool:
+        entry = self._entry
+        return entry[_STATE] == _CANCELLED or entry[_ITEMS][self._idx] is None
+
+    def cancel(self) -> None:
+        entry = self._entry
+        if entry[_STATE] != _PENDING or entry[_ITEMS][self._idx] is None:
+            return
+        entry[_ITEMS][self._idx] = None
+        entry[_LIVE] -= 1
+        engine = self._engine
+        engine._pending -= 1
+        if entry[_LIVE] == 0:
+            # last member gone: the entry itself is garbage now
+            entry[_STATE] = _CANCELLED
+            engine._cancelled += 1
+            engine._maybe_compact()
 
 
 class Engine:
@@ -163,6 +257,37 @@ class Engine:
         """Schedule ``callback`` at the current instant (after queued peers)."""
         return self.schedule(0.0, callback)
 
+    def schedule_run_at(
+        self, time: float, callback: Callable[[list], None], items: list
+    ) -> RunHandle:
+        """Schedule a *run*: a batch of logical events sharing one timestamp.
+
+        The whole batch occupies a single queue entry; at ``time`` the
+        engine calls ``callback(items)`` once and the callback dispatches
+        each member (skipping ``None`` holes left by cancelled members).
+        Event accounting treats the run as ``len(items)`` events.  While
+        the returned handle is :attr:`RunHandle.open`, more members can be
+        appended in O(1) without extra heap traffic — the coalescing hook
+        the network uses for same-instant delivery bursts.
+        """
+        time = float(time)
+        now = self.now
+        if time < now:
+            time = now
+        seq = self._seq = self._seq + 1
+        entry = [time, seq, _PENDING, callback, items, len(items)]
+        self._pending += len(items)
+        heapq.heappush(self._queue, entry)
+        return RunHandle(entry, self)
+
+    def schedule_run(
+        self, delay: float, callback: Callable[[list], None], items: list
+    ) -> RunHandle:
+        """Relative-delay form of :meth:`schedule_run_at`."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_run_at(self.now + delay, callback, items)
+
     # ------------------------------------------------------------------
     # Cancelled-entry compaction
     # ------------------------------------------------------------------
@@ -208,7 +333,8 @@ class Engine:
         return self._compactions
 
     def step(self) -> bool:
-        """Dispatch the next event.  Returns ``False`` when the queue is empty."""
+        """Dispatch the next event (for a run entry: the whole run).
+        Returns ``False`` when the queue is empty."""
         queue = self._queue
         while queue:
             entry = heapq.heappop(queue)
@@ -220,29 +346,38 @@ class Engine:
                 raise SimulationError("event queue corrupted: time went backwards")
             self.now = time
             entry[_STATE] = _DISPATCHED
-            self._pending -= 1
-            self._events_dispatched += 1
+            live = entry[_LIVE] if len(entry) > _ITEMS else 1
+            self._pending -= live
+            self._events_dispatched += live
             if self.obs is not None:
-                self._record_dispatch(entry)
-            if self._san is not None and not (self._events_dispatched & _AUDIT_MASK):
+                self._record_dispatch(entry, live)
+            if self._san is not None and (self._events_dispatched & _AUDIT_MASK) < live:
                 self._audit_pending()
-            entry[_CALLBACK]()
+            if len(entry) > _ITEMS:
+                entry[_CALLBACK](entry[_ITEMS])
+            else:
+                entry[_CALLBACK]()
             return True
         return False
 
     def _audit_pending(self) -> None:
         """Sanitizer: recount live queue entries against the O(1) counter."""
-        live = sum(1 for e in self._queue if e[_STATE] == _PENDING)
+        live = sum(
+            (e[_LIVE] if len(e) > _ITEMS else 1)
+            for e in self._queue
+            if e[_STATE] == _PENDING
+        )
         self._san.engine_pending_audit(live, self._pending)
 
-    def _record_dispatch(self, entry: list) -> None:
+    def _record_dispatch(self, entry: list, live: int = 1) -> None:
         """Attribute the dispatch to the callback's qualified name.
 
         The label cell is cached keyed by the callback's *code object*:
         bound methods of the same method and every lambda from one call
         site share a code object, so the cache stays as small as the
         label cardinality while the per-event key is two C-slot loads
-        (``__func__``/``__code__``) — no qualname string fetch.
+        (``__func__``/``__code__``) — no qualname string fetch.  A run
+        entry attributes all ``live`` members in one cell update.
         """
         cb = entry[_CALLBACK]
         try:
@@ -252,9 +387,9 @@ class Engine:
         cell = self._disp_cells.get(key)
         if cell is None:
             cell = self._resolve_disp_cell(cb, key)
-        cell.n += 1
-        cd = self._depth_cd - 1
-        if cd:
+        cell.n += live
+        cd = self._depth_cd - live
+        if cd > 0:
             self._depth_cd = cd
         else:
             self._depth_cd = self._depth_interval
@@ -330,10 +465,14 @@ class Engine:
                     )
                 self.now = time
                 entry[_STATE] = _DISPATCHED
-                self._pending -= 1
-                events_dispatched += 1
-                dispatched += 1
                 callback = entry[_CALLBACK]
+                # run entries ([time, seq, state, callback, items, live])
+                # dispatch a whole same-instant batch from one heap pop
+                batch = len(entry) > _ITEMS
+                live = entry[_LIVE] if batch else 1
+                self._pending -= live
+                events_dispatched += live
+                dispatched += live
                 if obs_on:
                     # inlined _record_dispatch (keep the two in sync)
                     try:
@@ -343,19 +482,22 @@ class Engine:
                     cell = disp_get(key)
                     if cell is None:
                         cell = self._resolve_disp_cell(callback, key)
-                    cell.n += 1
-                    depth_cd -= 1
-                    if not depth_cd:
+                    cell.n += live
+                    depth_cd -= live
+                    if depth_cd <= 0:
                         depth_cd = depth_interval
                         depth = len(queue)
                         depth_hist_observe(depth)
                         depth_gauge.value = depth
                         if depth > depth_gauge.high_water:
                             depth_gauge.high_water = depth
-                if san is not None and not (events_dispatched & _AUDIT_MASK):
+                if san is not None and (events_dispatched & _AUDIT_MASK) < live:
                     self._events_dispatched = events_dispatched
                     self._audit_pending()
-                callback()
+                if batch:
+                    callback(entry[_ITEMS])
+                else:
+                    callback()
         finally:
             self._running = False
             self._events_dispatched = events_dispatched

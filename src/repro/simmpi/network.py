@@ -28,7 +28,7 @@ from typing import Any, Callable
 
 from ..errors import SimulationError
 from ..obs.registry import DEPTH_BUCKETS, SIZE_BUCKETS
-from .engine import Engine, EventHandle
+from .engine import Engine, RunHandle, RunMemberHandle
 from .message import Envelope
 
 __all__ = ["TimingModel", "Network"]
@@ -100,7 +100,14 @@ class Network:
         # in-flight events per destination, keyed by envelope uid so a
         # delivery removes its own entry in O(1) (a per-delivery list
         # rebuild made draining n in-flight messages O(n^2))
-        self._in_flight: dict[int, dict[int, tuple[EventHandle, Envelope]]] = {}
+        self._in_flight: dict[
+            int, dict[int, tuple[RunMemberHandle, Envelope]]
+        ] = {}
+        # the delivery run still accepting members: transmits that land at
+        # the same arrival instant with no other event scheduled in between
+        # (RunHandle.open) join it instead of paying their own heap entry —
+        # control broadcasts and isend fan-outs become one pop at scale
+        self._open_burst: RunHandle | None = None
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -169,8 +176,19 @@ class Network:
             # (strictly later) time, and schedule_at stores it exactly.
             arrival = math.nextafter(prev, math.inf)
         self._last_arrival[chan] = arrival
-        handle = self.engine.schedule_at(arrival, lambda: self._deliver(env))
-        self._in_flight.setdefault(env.dst, {})[env.uid] = (handle, env)
+        # coalesce into the open delivery run when this transmit lands at
+        # the exact same instant and nothing else was scheduled since the
+        # run entry was created: the appended member dispatches precisely
+        # where its own singleton entry would have (see RunHandle.open),
+        # so burst and non-burst executions are event-for-event identical
+        burst = self._open_burst
+        if burst is not None and burst.time == arrival and burst.open:
+            member = burst.append(env)
+        else:
+            burst = engine.schedule_run_at(arrival, self._deliver_burst, [env])
+            self._open_burst = burst
+            member = burst.member(0)
+        self._in_flight.setdefault(env.dst, {})[env.uid] = (member, env)
         self.messages_sent += 1
         self.bytes_sent += env.size
         if self.obs is not None:
@@ -201,24 +219,37 @@ class Network:
                 self._depth_hist.observe(depth)
         return cpu
 
-    def _deliver(self, env: Envelope) -> None:
-        pending = self._in_flight.get(env.dst)
-        if pending is not None:
-            pending.pop(env.uid, None)
-        self.messages_delivered += 1
-        if self.obs is not None:
-            self._delivered_cell.n += 1
-            cd = self._rx_cd - 1
-            if cd:
-                self._rx_cd = cd
-            else:
-                self._rx_cd = self._hist_interval
-                self._in_flight_gauge.value = (
-                    self.messages_sent - self.messages_delivered
-                    - self.messages_dropped
-                )
-                self._transit_hist.observe(self.engine.now - env.send_time)
-        self._receivers[env.dst](env)
+    def _deliver_burst(self, items: list) -> None:
+        """Deliver every member of a coalesced run (usually length 1).
+
+        Holes (``None``) are members cancelled before dispatch.  A member
+        can also be purged *mid-run*: delivering an earlier member may kill
+        a rank (chaos send-count failure taps), and the purge then removes
+        later members of this very run from the in-flight map while the
+        entry is already marked dispatched — so a member whose uid is no
+        longer in flight is skipped exactly as its cancelled singleton
+        would have been (the purge already counted it as dropped).
+        """
+        for env in items:
+            if env is None:
+                continue
+            pending = self._in_flight.get(env.dst)
+            if pending is None or pending.pop(env.uid, None) is None:
+                continue
+            self.messages_delivered += 1
+            if self.obs is not None:
+                self._delivered_cell.n += 1
+                cd = self._rx_cd - 1
+                if cd:
+                    self._rx_cd = cd
+                else:
+                    self._rx_cd = self._hist_interval
+                    self._in_flight_gauge.value = (
+                        self.messages_sent - self.messages_delivered
+                        - self.messages_dropped
+                    )
+                    self._transit_hist.observe(self.engine.now - env.send_time)
+            self._receivers[env.dst](env)
 
     # ------------------------------------------------------------------
     # Fail-stop support

@@ -1,0 +1,182 @@
+"""Equivalence property: the worklist recovery-line solver (both its
+incremental untraced path and its traced full-rescan path) computes the
+same least fix-point as the literal Fig. 4 transcription.
+
+The incremental path's correctness rests on a subtle invariant — each
+receiver's consumed edge prefix covers every edge with ``epoch_recv``
+at or above the *minimum* bound seen so far — so it is checked three ways:
+
+* randomized SPE tables and failure sets (including multi-failure unions);
+* repeated solves on one solver instance (the per-solve cursor must reset,
+  and the once-per-snapshot sorted index must not be corrupted by use —
+  this is exactly the Table I / rollback-analysis usage pattern);
+* the full protocol stack on the minimized chaos reproducer schedules
+  (second failure during network drain, re-kill of a just-restored rank,
+  two rounds queued back-to-back), where every live ``solve`` call is
+  cross-checked against the naive reference mid-recovery.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos.schedule import FailureSpec, TrialSchedule
+from repro.chaos.trial import run_trial_schedule
+from repro.core.recovery import NaiveRecoveryLineSolver, RecoveryLineSolver
+
+
+def _random_world(rng: random.Random):
+    """Random SPE tables plus a failure set drawn from their epochs."""
+    nprocs = rng.randint(2, 12)
+    tables = {}
+    for rank in range(nprocs):
+        n_epochs = rng.randint(1, 5)
+        spe = {}
+        date = 0
+        for epoch in range(1, n_epochs + 1):
+            spe[epoch] = (date, {})
+            date += rng.randint(0, 40)
+        tables[rank] = spe
+    # edges: sender k, from one of its epochs, to a peer, received in an
+    # arbitrary epoch (receptions need not exist in the receiver's SPE —
+    # only restart epochs must, and those are always sender-side epochs)
+    for k in range(nprocs):
+        for epoch_send in tables[k]:
+            for _ in range(rng.randint(0, 3)):
+                j = rng.randrange(nprocs)
+                if j == k:
+                    continue
+                epoch_recv = rng.randint(1, 6)
+                peers = tables[k][epoch_send][1]
+                peers[j] = max(peers.get(j, 0), epoch_recv)
+    n_failed = rng.randint(1, min(3, nprocs))
+    failed = {}
+    for rank in rng.sample(range(nprocs), n_failed):
+        failed[rank] = rng.choice(sorted(tables[rank]))
+    return tables, failed
+
+
+def _assert_equivalent(tables, failed):
+    ref = NaiveRecoveryLineSolver(tables).solve(failed)
+    solver = RecoveryLineSolver(tables)
+    fast = solver.solve(failed)
+    steps = []
+    traced = RecoveryLineSolver(tables).solve(
+        failed, on_step=lambda *a: steps.append(a)
+    )
+    assert fast == ref
+    assert traced == ref
+    # the mapping's iteration order must also be path-independent (it can
+    # leak into restore scheduling)
+    assert list(fast) == list(ref) == list(traced)
+    # the count-only path (Table I analysis) sees the same line size, and
+    # repeating it on the same instance must not corrupt the scratch state
+    assert solver.solve_count(failed) == len(ref)
+    assert solver.solve_count(failed) == len(ref)
+    assert solver.solve(failed) == ref
+    # every traced step lowers a bound onto an edge that exists
+    for k, epoch_send, j, _epoch_recv, _bound in steps:
+        assert epoch_send in tables[k]
+    return solver, ref
+
+
+def test_randomized_tables_and_failures():
+    rng = random.Random(20110)
+    for _ in range(300):
+        tables, failed = _random_world(rng)
+        _assert_equivalent(tables, failed)
+
+
+def test_repeated_solves_reuse_one_solver():
+    """The rollback analysis builds one solver per snapshot and solves per
+    failed rank: per-solve cursors must not bleed between solves."""
+    rng = random.Random(4096)
+    for _ in range(40):
+        tables, _ = _random_world(rng)
+        solver = RecoveryLineSolver(tables)
+        for rank in sorted(tables):
+            for epoch in sorted(tables[rank]):
+                failed = {rank: epoch}
+                assert solver.solve(failed) == NaiveRecoveryLineSolver(
+                    tables
+                ).solve(failed)
+
+
+def test_multi_failure_union_matches_reference():
+    rng = random.Random(7)
+    for _ in range(100):
+        tables, _ = _random_world(rng)
+        ranks = sorted(tables)
+        failed = {r: min(tables[r]) for r in ranks[: len(ranks) // 2 + 1]}
+        _assert_equivalent(tables, failed)
+
+
+def test_sparse_rank_ids_fall_back_to_dict_path():
+    """Non-contiguous rank ids (offline analyses can slice worlds) must
+    take the dict-backed path and still match the reference."""
+    rng = random.Random(99)
+    for _ in range(60):
+        tables, failed = _random_world(rng)
+        remap = {r: r * 1_000_003 + 17 for r in tables}
+        tables = {
+            remap[k]: {
+                e: (d, {remap[j]: er for j, er in peers.items()})
+                for e, (d, peers) in spe.items()
+            }
+            for k, spe in tables.items()
+        }
+        failed = {remap[r]: e for r, e in failed.items()}
+        solver, _ = _assert_equivalent(tables, failed)
+        assert solver._dense_n is None  # really exercised the dict path
+
+
+@pytest.mark.parametrize(
+    "failures",
+    [
+        # the minimized chaos reproducers (tests/chaos/test_reproducers.py):
+        # multi-failure and mid-recovery geometries
+        (FailureSpec(1, "at", frac=0.5), FailureSpec(2, "drain", delta=1.0e-6)),
+        (FailureSpec(1, "at", frac=0.5), FailureSpec(1, "restored", delta=1.2e-4)),
+        (
+            FailureSpec(1, "at", frac=0.4),
+            FailureSpec(2, "drain", delta=0.0),
+            FailureSpec(3, "drain", delta=0.0),
+        ),
+    ],
+    ids=["drain-window", "rekill-restored", "queued-rounds"],
+)
+def test_live_recovery_solves_match_reference(monkeypatch, failures):
+    """Cross-check every recovery-line solve the protocol stack performs
+    while driving the reproducer schedules — real SPE tables, multiple
+    failures, solves happening mid-recovery."""
+    from repro.core import recovery as rec
+
+    orig = rec.RecoveryLineSolver.solve
+    solves = []
+
+    def checking(self, failed_restarts, on_step=None):
+        out = orig(self, failed_restarts, on_step)
+        ref = NaiveRecoveryLineSolver(self.spe_tables).solve(failed_restarts)
+        assert out == ref and list(out) == list(ref)
+        # exercise the *other* path on the same live tables too
+        if on_step is None:
+            other = orig(
+                rec.RecoveryLineSolver(self.spe_tables),
+                failed_restarts,
+                lambda *a: None,
+            )
+        else:
+            other = orig(rec.RecoveryLineSolver(self.spe_tables), failed_restarts)
+        assert other == ref
+        solves.append(len(failed_restarts))
+        return out
+
+    monkeypatch.setattr(rec.RecoveryLineSolver, "solve", checking)
+    sched = TrialSchedule(
+        seed=3, kernel="stencil", nprocs=4, niters=20, failures=failures
+    )
+    result = run_trial_schedule(sched)
+    assert result.passed, {
+        name: result.detail(name) for name in result.failed_oracles()
+    }
+    assert solves, "schedule drove no recovery-line solves"
