@@ -167,6 +167,44 @@ def test_flight_recorder_overhead_factor(benchmark):
     assert factor < 1.15
 
 
+def test_timeseries_overhead_factor(benchmark):
+    """Marginal cost of the virtual-time series recorder on an already
+    instrumented run.
+
+    The recorder is a boundary hook in the dispatch loop: one float
+    compare per dispatched event on the off path, plus the probe sweep
+    (~a dozen cheap readers) each time a grid point is crossed.  At the
+    default interval that must stay ≤ 1.05× a plain instrumented run
+    (CI gates the committed JSON at 1.10 to absorb runner noise).
+    """
+    from repro.obs import MetricsRegistry
+    from repro.obs.timeseries import DEFAULT_TIMESERIES_INTERVAL
+
+    samples = timed_interleaved({
+        "metrics": lambda: _protocol_world(obs=MetricsRegistry()),
+        "timeseries": lambda: _protocol_world(obs=MetricsRegistry(
+            timeseries_interval=DEFAULT_TIMESERIES_INTERVAL)),
+    }, rounds=15)
+    t_metrics = median(samples["metrics"])
+    t_series = median(samples["timeseries"])
+    factor = paired_factor(samples["timeseries"], samples["metrics"])
+    emit("timeseries_overhead.txt", format_table(
+        ["configuration", "wall s", "factor"],
+        [["metrics, recorder off", f"{t_metrics:.3f}", "1.00"],
+         ["metrics + timeseries", f"{t_series:.3f}", f"{factor:.2f}"]],
+    ))
+    emit_json("BENCH_throughput.json", {
+        "timeseries_off_wall_s": round(t_metrics, 6),
+        "timeseries_on_wall_s": round(t_series, 6),
+        "timeseries_overhead_factor": round(factor, 3),
+    })
+    benchmark.pedantic(
+        lambda: _protocol_world(obs=MetricsRegistry(
+            timeseries_interval=DEFAULT_TIMESERIES_INTERVAL)),
+        rounds=2, iterations=1)
+    assert factor < 1.5
+
+
 def test_engine_event_dispatch_rate(benchmark):
     """Singleton and batched dispatch rates.
 

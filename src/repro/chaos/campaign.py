@@ -147,6 +147,7 @@ def run_campaign(
     on_progress: Callable[[SweepResult], None] | None = None,
     check_determinism: bool = True,
     sanitize: bool = True,
+    stream: Any = None,
 ) -> CampaignReport:
     """Run a chaos campaign of ``trials`` seeded trials.
 
@@ -156,7 +157,9 @@ def run_campaign(
     bounds how many failing trials get the delta-debugging treatment
     (0 disables); ``bug`` plants a synthetic defect in *every* trial
     (harness self-test).  Flight-recorder dumps ride on each failing
-    trial's record via the sweep's per-task registries.
+    trial's record via the sweep's per-task registries.  ``stream`` (a
+    :class:`repro.obs.stream.ProgressStream`) emits a live JSONL event
+    per trial plus campaign begin/end markers.
     """
     base = {
         "kernels": list(kernels) if kernels else None,
@@ -169,12 +172,27 @@ def run_campaign(
     tasks = [SweepTask(name=f"trial-{i}", params=dict(base))
              for i in range(trials)]
     report = CampaignReport(seed=seed, trials=trials, workers=workers)
+    if stream is not None:
+        from ..obs.stream import stream_progress
+
+        stream.emit(
+            "campaign_begin", campaign="chaos", trials=trials, seed=seed,
+            workers=workers, kernels=list(kernels) if kernels else None,
+        )
+        on_progress = stream_progress(stream, trials, inner=on_progress)
     results = run_sweep(
         run_trial, tasks, workers=workers, base_seed=seed,
         obs=obs, on_progress=on_progress, collect_obs=True,
     )
     for result in results:
         _score(report, result, obs)
+    if stream is not None:
+        stream.emit(
+            "campaign_end", campaign="chaos", ok=report.ok,
+            passed=report.passed, failed=report.failed,
+            errors=report.errors,
+            oracle_failures=dict(sorted(report.oracle_failures.items())),
+        )
 
     # shrink the first few oracle failures (serial, in-process)
     for entry in report.failures[: max(0, shrink)]:

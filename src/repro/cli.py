@@ -50,8 +50,24 @@ from .core import ProtocolConfig, build_ft_world
 from .core.clustering import Clustering, block_clusters
 from .lint.sanitize import ENV_VAR as SANITIZE_ENV_VAR
 from .netmodel import MODES, PerfModel
+from .obs.timeseries import DEFAULT_TIMESERIES_INTERVAL
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    """Shared campaign telemetry flags (table1 / sweep)."""
+    p.add_argument("--timeseries", nargs="?", type=float, default=None,
+                   const=DEFAULT_TIMESERIES_INTERVAL, metavar="INTERVAL",
+                   help="sample virtual-time metric series in every task at "
+                        "INTERVAL virtual seconds and merge them in task "
+                        "order — byte-identical for any --workers N "
+                        f"(default {DEFAULT_TIMESERIES_INTERVAL:g})")
+    p.add_argument("--timeseries-out", default=None, metavar="PATH",
+                   help="write the merged time-series dump (JSONL) here")
+    p.add_argument("--stream", default=None, metavar="PATH",
+                   help="live JSONL progress stream: one event per task "
+                        "plus campaign begin/end ('-' = stderr)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--workers", type=int, default=1,
                     help="fan cells across N worker processes (1 = inline, "
                          "output identical either way)")
+    _add_telemetry_args(t1)
 
     sw = sub.add_parser(
         "sweep", help="fan independent scenario runs across worker processes"
@@ -96,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--base-seed", type=int, default=0)
     sw.add_argument("--out", default=None,
                     help="write structured JSON results here")
+    _add_telemetry_args(sw)
 
     sub.add_parser("fig6", help="ping-pong latency/bandwidth table")
 
@@ -127,9 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rank to kill mid-run (default: last rank)")
     obs.add_argument("--no-failure", action="store_true",
                      help="measure a failure-free execution")
-    obs.add_argument("--format", choices=["jsonl", "csv"], default="jsonl")
+    obs.add_argument("--format", choices=["jsonl", "csv", "text"],
+                     default="jsonl",
+                     help="metrics output format; 'text' is a human-"
+                          "readable summary with p50/p95/p99 quantile "
+                          "estimates per histogram")
     obs.add_argument("--out", default=None,
                      help="write the metrics dump here (default: stdout)")
+    obs.add_argument("--timeseries", nargs="?", type=float, default=None,
+                     const=DEFAULT_TIMESERIES_INTERVAL, metavar="INTERVAL",
+                     help="sample virtual-time metric series every INTERVAL "
+                          f"virtual seconds (default "
+                          f"{DEFAULT_TIMESERIES_INTERVAL:g})")
+    obs.add_argument("--timeseries-out", default=None, metavar="PATH",
+                     help="write the time-series dump (JSONL) here")
     obs.add_argument("--trace-out", default=None,
                      help="also write the trace-event stream to this path "
                           "(a *.trace.json name gets Perfetto/Chrome "
@@ -173,6 +202,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-failure artifacts (schedule JSON, "
                             "flight-recorder dump, shrunk pytest "
                             "reproducers) into this directory")
+    chaos.add_argument("--stream", default=None, metavar="PATH",
+                       help="live JSONL progress stream: one event per "
+                            "trial plus campaign begin/end ('-' = stderr)")
+
+    rep = sub.add_parser(
+        "report",
+        help="render a self-contained HTML dashboard: virtual-time metric "
+             "series, sweep/chaos campaign views and benchmark trends "
+             "(inline SVG, no external assets)",
+    )
+    rep.add_argument("--out", default="report.html",
+                     help="output HTML path (default: report.html)")
+    rep.add_argument("--timeseries", default=None, metavar="PATH",
+                     help="time-series JSONL dump (from --timeseries-out); "
+                          "default: run the built-in instrumented failure "
+                          "scenario to collect fresh series")
+    rep.add_argument("--no-scenario", action="store_true",
+                     help="skip the built-in scenario when no --timeseries "
+                          "dump is given (report carries no series charts)")
+    rep.add_argument("--sweep", default=None, metavar="PATH",
+                     help="sweep results JSON (from repro sweep --out)")
+    rep.add_argument("--chaos", default=None, metavar="PATH",
+                     help="chaos campaign report JSON (from repro chaos "
+                          "--out)")
+    rep.add_argument("--bench", nargs="*", default=None, metavar="PATH",
+                     help="BENCH_*.json artefacts, or a directory to scan "
+                          "(no value: ./results)")
+    rep.add_argument("--ranks", type=int, default=8,
+                     help="built-in scenario size")
+    rep.add_argument("--clusters", type=int, default=2)
+    rep.add_argument("--interval", type=float,
+                     default=DEFAULT_TIMESERIES_INTERVAL,
+                     help="built-in scenario sampling interval (virtual s)")
+    rep.add_argument("--title", default="repro dashboard")
 
     lint = sub.add_parser(
         "lint",
@@ -309,14 +372,43 @@ def _obs_summary(registry) -> str:
     return "obs: " + " ".join(parts)
 
 
+def _ts_digest(registry) -> str:
+    """Deterministic one-line digest of the merged time-series recorder.
+
+    Virtual-time quantities only (no wall-clock), so — like
+    :func:`_obs_summary` — the line is byte-identical for any worker count.
+    """
+    ts = registry.timeseries
+    points = sum(len(s.t) for s in ts.series.values())
+    dropped = sum(s.dropped for s in ts.series.values())
+    return (f"timeseries: interval={ts.interval:g}s "
+            f"series={len(ts.series)} samples={ts.samples_taken} "
+            f"points={points} dropped={dropped}")
+
+
+def _write_timeseries(registry, path: str) -> None:
+    from .obs import dump_timeseries
+
+    with open(path, "w") as fh:
+        fh.write(dump_timeseries(registry, "jsonl"))
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
-    from .obs import MetricsRegistry
+    from .obs import MetricsRegistry, ProgressStream, stream_progress
     from .sweep import run_sweep
 
     registry = MetricsRegistry()
     tasks = table1_tasks(args.kernels, args.ranks, args.clusters, args.niters)
+    stream = ProgressStream.open(args.stream) if args.stream else None
+    on_progress = None
+    if stream is not None:
+        stream.emit("campaign_begin", campaign="table1", tasks=len(tasks),
+                    workers=args.workers, kernels=list(args.kernels))
+        on_progress = stream_progress(stream, len(tasks))
     results = run_sweep(table1_cell, tasks, workers=args.workers,
-                        obs=registry, collect_obs=True)
+                        obs=registry, collect_obs=True,
+                        on_progress=on_progress,
+                        timeseries=args.timeseries)
     failed = [r for r in results if not r.ok]
     for r in failed:
         print(f"cell {r.name} failed: {r.error}", file=sys.stderr)
@@ -332,6 +424,15 @@ def cmd_table1(args: argparse.Namespace) -> int:
     )
     print(f"theoretical %rl ((p+1)/2p): {theory}")
     print(_obs_summary(registry))
+    if registry.timeseries is not None:
+        print(_ts_digest(registry))
+        if args.timeseries_out:
+            _write_timeseries(registry, args.timeseries_out)
+            print(f"timeseries -> {args.timeseries_out}", file=sys.stderr)
+    if stream is not None:
+        stream.emit("campaign_end", campaign="table1",
+                    ok=not failed, tasks=len(tasks), errors=len(failed))
+        stream.close()
     return 1 if failed else 0
 
 
@@ -379,7 +480,7 @@ def failure_scenario(params: dict) -> dict:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .obs import MetricsRegistry
+    from .obs import MetricsRegistry, ProgressStream, stream_progress
     from .sweep import SweepTask, run_sweep, save_results
 
     if args.scenario == "table1":
@@ -405,10 +506,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"({result.duration:.2f}s)", file=sys.stderr)
 
     registry = MetricsRegistry()
+    stream = ProgressStream.open(args.stream) if args.stream else None
+    on_progress = progress
+    if stream is not None:
+        stream.emit("campaign_begin", campaign="sweep",
+                    scenario=args.scenario, tasks=len(tasks),
+                    workers=args.workers, seed=args.base_seed)
+        on_progress = stream_progress(stream, len(tasks), inner=progress)
     results = run_sweep(fn, tasks, workers=args.workers,
-                        base_seed=args.base_seed, on_progress=progress,
-                        obs=registry, collect_obs=True)
+                        base_seed=args.base_seed, on_progress=on_progress,
+                        obs=registry, collect_obs=True,
+                        timeseries=args.timeseries)
     print(_obs_summary(registry), file=sys.stderr)
+    if registry.timeseries is not None:
+        print(_ts_digest(registry), file=sys.stderr)
+        if args.timeseries_out:
+            _write_timeseries(registry, args.timeseries_out)
+            print(f"timeseries -> {args.timeseries_out}", file=sys.stderr)
     ok = [r for r in results if r.ok]
     failed = [r for r in results if not r.ok]
     for r in failed:
@@ -426,6 +540,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                             "workers": args.workers,
                             "base_seed": args.base_seed})
         print(f"results -> {args.out}")
+    if stream is not None:
+        stream.emit("campaign_end", campaign="sweep", ok=not failed,
+                    tasks=len(tasks), errors=len(failed))
+        stream.close()
     return 1 if failed else 0
 
 
@@ -511,7 +629,13 @@ def cmd_obs(args: argparse.Namespace) -> int:
     """Instrumented run covering every layer: engine dispatch, per-channel
     traffic, logging decisions, and (unless --no-failure) a full recovery
     round — then dump the metrics snapshot and optional trace stream."""
-    from .obs import MetricsRegistry, dump_events, dump_flight, dump_metrics
+    from .obs import (
+        MetricsRegistry,
+        dump_events,
+        dump_flight,
+        dump_metrics,
+        dump_text,
+    )
     from .obs.perfetto import dump_perfetto
 
     nprocs = args.ranks
@@ -520,7 +644,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
                             cluster_stagger=5e-6, rank_stagger=1e-6)
     factory = lambda r, s: Stencil2D(r, s, niters=40, block=3)
 
-    registry = MetricsRegistry()
+    registry = MetricsRegistry(timeseries_interval=args.timeseries)
     world, controller = build_ft_world(nprocs, factory, config, obs=registry)
     if not args.no_failure:
         # a failure-free probe run fixes the horizon for the injection
@@ -531,7 +655,12 @@ def cmd_obs(args: argparse.Namespace) -> int:
     world.launch()
     world.run()
 
-    metrics_text = dump_metrics(registry, args.format)
+    # the trace/flight streams stay JSONL when the metrics view is text
+    stream_fmt = "jsonl" if args.format == "text" else args.format
+    if args.format == "text":
+        metrics_text = dump_text(registry)
+    else:
+        metrics_text = dump_metrics(registry, args.format)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(metrics_text)
@@ -545,12 +674,18 @@ def cmd_obs(args: argparse.Namespace) -> int:
                   f"(open in ui.perfetto.dev)")
         else:
             with open(args.trace_out, "w") as fh:
-                fh.write(dump_events(registry, args.format))
-            print(f"trace events ({args.format}) -> {args.trace_out}")
+                fh.write(dump_events(registry, stream_fmt))
+            print(f"trace events ({stream_fmt}) -> {args.trace_out}")
     if args.flight_out:
         with open(args.flight_out, "w") as fh:
-            fh.write(dump_flight(registry, args.format))
-        print(f"flight records ({args.format}) -> {args.flight_out}")
+            fh.write(dump_flight(registry, stream_fmt))
+        print(f"flight records ({stream_fmt}) -> {args.flight_out}")
+    if args.timeseries_out:
+        if registry.timeseries is None:
+            print("--timeseries-out needs --timeseries", file=sys.stderr)
+            return 2
+        _write_timeseries(registry, args.timeseries_out)
+        print(f"timeseries -> {args.timeseries_out}")
     summary = (
         f"# events={world.engine.events_dispatched} "
         f"messages={world.network.messages_sent} "
@@ -596,12 +731,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  [{done['n']}/{args.trials}] "
                   f"{done['failed']} failing", file=sys.stderr)
 
-    report = run_campaign(
-        args.trials, seed=args.seed, workers=args.workers,
-        kernels=kernels, max_failures=args.max_failures,
-        allow_no_log=not args.no_domino_axis, bug=args.bug,
-        shrink=args.shrink, obs=obs, on_progress=progress,
-    )
+    stream = None
+    if args.stream:
+        from .obs import ProgressStream
+
+        stream = ProgressStream.open(args.stream)
+    try:
+        report = run_campaign(
+            args.trials, seed=args.seed, workers=args.workers,
+            kernels=kernels, max_failures=args.max_failures,
+            allow_no_log=not args.no_domino_axis, bug=args.bug,
+            shrink=args.shrink, obs=obs, on_progress=progress,
+            stream=stream,
+        )
+    finally:
+        if stream is not None:
+            stream.close()
     print(report.summary())
     oracle_counter = obs.counter("chaos.oracle", ("name", "passed"))
     for name in ORACLES:
@@ -641,6 +786,82 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _report_timeseries_rows(args: argparse.Namespace) -> list[dict]:
+    """Time-series rows for the dashboard: a JSONL dump if given, else a
+    fresh run of the built-in instrumented failure scenario."""
+    if args.timeseries:
+        rows = []
+        with open(args.timeseries) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        return rows
+    if args.no_scenario:
+        return []
+    from .obs import MetricsRegistry, timeseries_rows
+
+    nprocs = args.ranks
+    clusters = block_clusters(nprocs, args.clusters)
+    config = ProtocolConfig(checkpoint_interval=3e-5, cluster_of=clusters,
+                            cluster_stagger=5e-6, rank_stagger=1e-6)
+    factory = lambda r, s: Stencil2D(r, s, niters=40, block=3)
+    ref, _ = _run(nprocs, factory, config)
+    registry = MetricsRegistry(timeseries_interval=args.interval)
+    world, controller = build_ft_world(nprocs, factory, config, obs=registry)
+    controller.inject_failure(ref.engine.now / 2, nprocs - 1)
+    controller.arm()
+    world.launch()
+    world.run()
+    return timeseries_rows(registry)
+
+
+def _load_json(path: str, what: str) -> dict | None:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"skipping {what} ({path}): {exc}", file=sys.stderr)
+        return None
+
+
+def _load_bench(paths: list[str]) -> dict[str, dict]:
+    """Map BENCH_<name>.json stem -> parsed document; directories scan."""
+    import glob as globmod
+
+    files: list[str] = []
+    for p in (paths or ["results"]):
+        if os.path.isdir(p):
+            files.extend(sorted(globmod.glob(os.path.join(p, "BENCH_*.json"))))
+        else:
+            files.append(p)
+    out: dict[str, dict] = {}
+    for path in files:
+        doc = _load_json(path, "benchmark artefact")
+        if doc is not None:
+            stem = os.path.splitext(os.path.basename(path))[0]
+            out[stem] = doc
+    return out
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML dashboard (inline SVG, no assets)."""
+    from .obs import render_report, write_report
+
+    ts_rows = _report_timeseries_rows(args)
+    sweep_doc = _load_json(args.sweep, "sweep results") if args.sweep else None
+    chaos_doc = _load_json(args.chaos, "chaos report") if args.chaos else None
+    bench = _load_bench(args.bench) if args.bench is not None else {}
+    html, n_charts = render_report(
+        timeseries=ts_rows, sweep=sweep_doc, chaos=chaos_doc, bench=bench,
+        title=args.title,
+    )
+    write_report(args.out, html)
+    print(f"report -> {args.out} ({n_charts} time-series charts, "
+          f"{len(bench)} benchmark artefact(s))")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static determinism pass; exit 0 clean, 1 findings, 2 usage error."""
     from .lint import lint_paths, list_rules_text, render_json, render_text
@@ -673,6 +894,7 @@ _COMMANDS = {
     "explain": cmd_explain,
     "obs": cmd_obs,
     "chaos": cmd_chaos,
+    "report": cmd_report,
     "lint": cmd_lint,
 }
 

@@ -150,6 +150,10 @@ class FTController:
         self._storage_free_at = 0.0
         #: accumulated per-rank time spent writing checkpoints
         self.checkpoint_write_time: float = 0.0
+        #: cumulative payload bytes reclaimed from message logs by GC —
+        #: with cumulative ``bytes_logged`` this yields bytes currently
+        #: held as ``logged - reclaimed`` in O(1), no log walk
+        self.log_bytes_reclaimed: int = 0
 
     # ------------------------------------------------------------------
     # World wiring
@@ -165,8 +169,41 @@ class FTController:
         self.world = world
         world.network.attach(self.recovery_rank, self.recovery.receive)
         self.injector = FailureInjector(world, self.on_failures)
+        if self.obs.enabled:
+            ts = getattr(self.obs, "timeseries", None)
+            if ts is not None and ts.engine is world.engine:
+                self._register_timeseries(ts)
         for rank in range(self.nprocs):
             self.store_checkpoint(rank)
+
+    def _register_timeseries(self, ts: Any) -> None:
+        """Protocol/recovery curves for the virtual-time series recorder.
+
+        Every reader is O(nprocs) per grid point (attribute sums and
+        ``len()`` over plain lists) — never a per-message walk — so the
+        recorder's cost scales with the sampling grid, not event count.
+        """
+        protocols = self.protocols
+        recovery = self.recovery
+        ts.probe("log.bytes_logged",
+                 lambda: sum(p.bytes_logged for p in protocols),
+                 kind="counter")
+        ts.probe("log.bytes_reclaimed",
+                 lambda: self.log_bytes_reclaimed, kind="counter")
+        ts.probe("log.bytes_held",
+                 lambda: sum(p.bytes_logged for p in protocols)
+                 - self.log_bytes_reclaimed)
+        ts.probe("log.messages_held",
+                 lambda: sum(len(p.state.logs) for p in protocols))
+        ts.probe("protocol.non_acked",
+                 lambda: sum(len(p.state.non_ack) for p in protocols))
+        # recovery-line size: ranks in the line once the SPE has computed
+        # and published it for the active round, zero when quiescent
+        ts.probe("recovery.line_size",
+                 lambda: len(recovery._rl)
+                 if recovery.active and recovery._rl_sent else 0)
+        ts.track_counter("checkpoint.stored",
+                         self.obs.counter("checkpoint.stored", ("rank",)))
 
     @property
     def now(self) -> float:
@@ -546,13 +583,19 @@ class FTController:
             {r: min_epoch for r in range(self.nprocs)}
         )
         removed_logs = 0
+        removed_log_bytes = 0
         removed_obs = 0
         for proto in self.protocols:
-            before = len(proto.state.logs)
-            proto.state.logs = [
-                lm for lm in proto.state.logs if lm.epoch_recv >= min_epoch
-            ]
-            removed_logs += before - len(proto.state.logs)
+            kept = []
+            for lm in proto.state.logs:
+                if lm.epoch_recv >= min_epoch:
+                    kept.append(lm)
+                else:
+                    removed_logs += 1
+                    removed_log_bytes += lm.size
+            # reassign (not mutate): the state's derived log indexes are
+            # identity-guarded and rebuild on the new list
+            proto.state.logs = kept
             # observation-table entries below the bound can never lift a
             # replay filter above any future recovery line (which is >= the
             # bound), so they are dead weight
@@ -561,10 +604,12 @@ class FTController:
                 for d in stale:
                     del obs[d]
                 removed_obs += len(stale)
+        self.log_bytes_reclaimed += removed_log_bytes
         return {
             "min_epoch": min_epoch,
             "checkpoints_removed": removed_ckpts,
             "logs_removed": removed_logs,
+            "log_bytes_removed": removed_log_bytes,
             "observations_removed": removed_obs,
         }
 

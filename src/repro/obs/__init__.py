@@ -37,12 +37,23 @@ from .export import (
     dump_events,
     dump_flight,
     dump_metrics,
+    dump_text,
+    dump_timeseries,
     event_rows,
     flight_rows,
+    histogram_quantile,
     metric_rows,
+    timeseries_rows,
     to_csv,
     to_jsonl,
 )
+from .timeseries import (
+    DEFAULT_TIMESERIES_CAPACITY,
+    DEFAULT_TIMESERIES_INTERVAL,
+    TimeSeriesRecorder,
+)
+from .stream import ProgressStream, stream_progress
+from .report import render_report, write_report
 from .flight import (
     DEFAULT_FLIGHT_CAPACITY,
     FlightKind,
@@ -78,11 +89,22 @@ __all__ = [
     "dump_events",
     "dump_flight",
     "dump_metrics",
+    "dump_text",
+    "dump_timeseries",
     "event_rows",
     "flight_rows",
+    "histogram_quantile",
     "metric_rows",
+    "timeseries_rows",
     "to_csv",
     "to_jsonl",
+    "DEFAULT_TIMESERIES_CAPACITY",
+    "DEFAULT_TIMESERIES_INTERVAL",
+    "TimeSeriesRecorder",
+    "ProgressStream",
+    "stream_progress",
+    "render_report",
+    "write_report",
     "DEFAULT_FLIGHT_CAPACITY",
     "FlightKind",
     "FlightRecorder",

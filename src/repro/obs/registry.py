@@ -51,6 +51,7 @@ from typing import Any, Callable, Iterator
 
 from ..errors import SimulationError
 from .flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, NULL_FLIGHT
+from .timeseries import DEFAULT_TIMESERIES_CAPACITY, TimeSeriesRecorder
 
 __all__ = [
     "Counter",
@@ -293,7 +294,9 @@ class MetricsRegistry:
                  trace_capacity: int = 100_000,
                  flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
                  hist_sample: int = 8,
-                 span_sample: int = 1):
+                 span_sample: int = 1,
+                 timeseries_interval: float | None = None,
+                 timeseries_capacity: int | None = DEFAULT_TIMESERIES_CAPACITY):
         if hist_sample < 1 or span_sample < 1:
             raise SimulationError("sample intervals must be >= 1")
         self._clock = clock
@@ -307,6 +310,12 @@ class MetricsRegistry:
         self.flight = (
             FlightRecorder(flight_capacity, clock)
             if flight_capacity > 0 else NULL_FLIGHT
+        )
+        # virtual-time metric series: None (the default) keeps the engine
+        # dispatch loop on the recorder-free path entirely
+        self.timeseries = (
+            TimeSeriesRecorder(timeseries_interval, timeseries_capacity)
+            if timeseries_interval is not None else None
         )
 
     # ------------------------------------------------------------------
@@ -445,6 +454,10 @@ class MetricsRegistry:
             "events": [(r.time, r.kind, dict(r.fields)) for r in self.events],
             "events_dropped": self.events_dropped,
             "flight": self.flight.snapshot() if self.flight.enabled else None,
+            "timeseries": (
+                self.timeseries.snapshot()
+                if self.timeseries is not None else None
+            ),
         }
 
     def merge(self, snap: dict[str, Any]) -> None:
@@ -503,6 +516,16 @@ class MetricsRegistry:
         flight_snap = snap.get("flight")
         if flight_snap and self.flight.enabled:
             self.flight.merge(flight_snap)
+        ts_snap = snap.get("timeseries")
+        if ts_snap:
+            if self.timeseries is None:
+                # a merge sink (the sweep parent): adopt the workers' grid
+                # and concatenate unbounded so campaign dashboards keep
+                # every task's curve
+                self.timeseries = TimeSeriesRecorder(
+                    ts_snap["interval"], capacity=None
+                )
+            self.timeseries.merge(ts_snap)
 
 
 class _NullInstrument:
@@ -549,6 +572,7 @@ class NullRegistry:
     flight = NULL_FLIGHT
     hist_sample = 1
     span_sample = 1
+    timeseries = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None: ...
     def bind_time_source(self, src: Any) -> None: ...

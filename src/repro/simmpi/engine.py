@@ -216,6 +216,17 @@ class Engine:
             self._depth_interval = self.obs.hist_sample
             self._depth_cd = 1
             self._depth_gauge = self.obs.gauge("engine.queue_depth.current")
+        # virtual-time series recorder: sampled by a boundary hook in the
+        # dispatch loop (no queue entries, no sequence numbers — arming it
+        # cannot perturb event order; see obs/timeseries.py).  bind_engine
+        # is first-wins, so a second world on the same registry stays out.
+        self._ts = None
+        if self.obs is not None:
+            ts = getattr(self.obs, "timeseries", None)
+            if ts is not None and ts.bind_engine(self):
+                self._ts = ts
+                ts.track_counter("engine.events_dispatched", self._disp_counter)
+                ts.probe("engine.pending", lambda: self._pending)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -344,6 +355,9 @@ class Engine:
             time = entry[_TIME]
             if time < self.now:
                 raise SimulationError("event queue corrupted: time went backwards")
+            ts = self._ts
+            if ts is not None and time >= ts.next_time:
+                ts.sample_through(time)
             self.now = time
             entry[_STATE] = _DISPATCHED
             live = entry[_LIVE] if len(entry) > _ITEMS else 1
@@ -435,6 +449,10 @@ class Engine:
             depth_gauge = self._depth_gauge
             depth_cd = self._depth_cd
         san = self._san
+        # ts_next is +inf when no recorder is armed, so the recorder-off
+        # (and null-registry) path pays one float compare per event
+        ts = self._ts
+        ts_next = ts.next_time if ts is not None else float("inf")
         events_dispatched = self._events_dispatched
         try:
             while True:
@@ -450,14 +468,25 @@ class Engine:
                     # move monotonically to each horizon
                     if until is not None and until > self.now:
                         self.now = until
+                    if self.now >= ts_next:
+                        # grid boundaries up to the final clock value are
+                        # still due (the state can no longer change)
+                        ts_next = ts.sample_through(self.now)
                     break
                 time = queue[0][_TIME]
                 if not unbounded:
                     if until is not None and time > until:
+                        if until >= ts_next:
+                            ts_next = ts.sample_through(until)
                         self.now = until
                         break
                     if max_events is not None and dispatched >= max_events:
                         break
+                # time-series boundary hook: sample every grid point the
+                # head event has reached *before* dispatching it, so each
+                # sample reads the state as of the boundary instant
+                if time >= ts_next:
+                    ts_next = ts.sample_through(time)
                 entry = heappop(queue)
                 if time < self.now:
                     raise SimulationError(

@@ -138,6 +138,18 @@ class Network:
             self._hist_interval = obs.hist_sample
             self._tx_cd = 1
             self._rx_cd = 1
+            # virtual-time series probes (sampled at grid boundaries only,
+            # so plain-attribute readers cost nothing per event); gated on
+            # the recorder being bound to *this* world's engine
+            ts = getattr(obs, "timeseries", None)
+            if ts is not None and ts.engine is engine:
+                ts.probe("network.in_flight", self.in_flight_count)
+                ts.probe("network.messages_sent",
+                         lambda: self.messages_sent, kind="counter")
+                ts.probe("network.messages_delivered",
+                         lambda: self.messages_delivered, kind="counter")
+                ts.probe("network.bytes_sent",
+                         lambda: self.bytes_sent, kind="counter")
 
     # ------------------------------------------------------------------
     def attach(self, rank: int, receiver: Callable[[Envelope], None]) -> None:

@@ -121,13 +121,15 @@ def _jsonable(value: Any) -> Any:
 
 
 def _execute(fn: Callable[[dict[str, Any]], Any], task: SweepTask,
-             index: int, seed: int, collect_obs: bool = False) -> SweepResult:
+             index: int, seed: int, collect_obs: bool = False,
+             timeseries: float | None = None) -> SweepResult:
     """Run one task with crash isolation (used in-process and in workers).
 
     With ``collect_obs`` the task gets a private ``MetricsRegistry`` under
     ``params["obs"]`` and its plain-data snapshot rides back on the result —
     the same path inline and across the pool, so merged observability is
-    shape-identical regardless of worker count.
+    shape-identical regardless of worker count.  ``timeseries`` arms the
+    task registry's virtual-time series recorder at that interval.
     """
     params = dict(task.params)
     params["seed"] = seed
@@ -135,7 +137,7 @@ def _execute(fn: Callable[[dict[str, Any]], Any], task: SweepTask,
     if collect_obs:
         from ..obs import MetricsRegistry
 
-        registry = MetricsRegistry()
+        registry = MetricsRegistry(timeseries_interval=timeseries)
         params["obs"] = registry
     snap = None
     # host wall-clock is allowed here: SweepResult.duration is documented
@@ -165,8 +167,8 @@ def _execute(fn: Callable[[dict[str, Any]], Any], task: SweepTask,
 
 
 def _worker(payload: tuple) -> SweepResult:
-    fn, task, index, seed, collect_obs = payload
-    return _execute(fn, task, index, seed, collect_obs)
+    fn, task, index, seed, collect_obs, timeseries = payload
+    return _execute(fn, task, index, seed, collect_obs, timeseries)
 
 
 def run_sweep(
@@ -177,6 +179,7 @@ def run_sweep(
     obs: Any = None,
     on_progress: Callable[[SweepResult], None] | None = None,
     collect_obs: bool = False,
+    timeseries: float | None = None,
 ) -> list[SweepResult]:
     """Run every task through ``fn``; returns results in task order.
 
@@ -202,6 +205,11 @@ def run_sweep(
         its snapshot back on the result.  When ``obs`` is also given, the
         snapshots are merged into it **in task order** after the sweep, so
         the merged registry is identical for any worker count.
+    timeseries:
+        With ``collect_obs``, sample each task's instruments into
+        virtual-time series at this interval (virtual seconds); series
+        merge into ``obs`` in task order, byte-identical for any worker
+        count.
     """
     tasks = list(tasks)
     seeds = [task_seed(base_seed, i, t.name) for i, t in enumerate(tasks)]
@@ -231,14 +239,17 @@ def run_sweep(
     if workers <= 1 or len(tasks) <= 1:
         results = []
         for i, task in enumerate(tasks):
-            result = _execute(fn, task, i, seeds[i], collect_obs)
+            result = _execute(fn, task, i, seeds[i], collect_obs, timeseries)
             _note(result)
             results.append(result)
         _merge_worker_obs(results)
         return results
 
     nworkers = min(workers, len(tasks))
-    payloads = [(fn, t, i, seeds[i], collect_obs) for i, t in enumerate(tasks)]
+    payloads = [
+        (fn, t, i, seeds[i], collect_obs, timeseries)
+        for i, t in enumerate(tasks)
+    ]
     results_by_index: list[SweepResult | None] = [None] * len(tasks)
     ctx = multiprocessing.get_context()
     with ctx.Pool(processes=nworkers) as pool:

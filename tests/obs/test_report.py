@@ -1,0 +1,124 @@
+"""HTML dashboard: chart generation, self-containment, and the section
+renderers for sweep/chaos/benchmark documents."""
+
+from repro.obs import MetricsRegistry, render_report, timeseries_rows, write_report
+from repro.obs.report import svg_bar_chart, svg_line_chart
+
+
+def _instrumented_rows():
+    """Time-series rows from a real (tiny) instrumented failure run."""
+    from repro.apps import Stencil2D
+    from repro.core import ProtocolConfig, build_ft_world
+    from repro.core.clustering import block_clusters
+
+    nprocs = 4
+    config = ProtocolConfig(
+        checkpoint_interval=3e-5,
+        cluster_of=block_clusters(nprocs, 2),
+        cluster_stagger=5e-6, rank_stagger=1e-6,
+    )
+    factory = lambda r, s: Stencil2D(r, s, niters=20, block=3)
+    reg = MetricsRegistry(timeseries_interval=1e-5)
+    world, controller = build_ft_world(nprocs, factory, config, obs=reg)
+    controller.inject_failure(2e-4, nprocs - 1)
+    controller.arm()
+    world.launch()
+    world.run()
+    return timeseries_rows(reg)
+
+
+SWEEP_DOC = {
+    "sweep": "failures", "tasks": 2, "ok": 1, "errors": 1,
+    "results": [
+        {"index": 0, "name": "a", "status": "ok", "duration_s": 0.5,
+         "value": {"valid": True}},
+        {"index": 1, "name": "b", "status": "error", "duration_s": 0.1,
+         "error": "RuntimeError: boom"},
+    ],
+}
+
+CHAOS_DOC = {
+    "seed": 3, "trials": 5, "workers": 1, "passed": 4, "failed": 1,
+    "errors": 0, "ok": False,
+    "oracle_failures": {"validity": 1},
+    "failure_index": [{"index": 2, "seed": 9, "oracles": ["validity"]}],
+    "failures": [], "shrunk": [],
+}
+
+BENCH = {
+    "BENCH_throughput": {"engine_events_per_s": 1.5e6,
+                         "instrumentation_null_factor": 1.01},
+    "BENCH_scale": {"sizes": {
+        "256": {"events_per_s": 1e6, "wall_s": 1.0},
+        "1024": {"events_per_s": 9e5, "wall_s": 5.0},
+        "4096": {"events_per_s": 8e5, "wall_s": 22.0},
+    }},
+}
+
+
+def test_report_has_at_least_four_series_charts():
+    html, n_charts = render_report(timeseries=_instrumented_rows())
+    assert n_charts >= 4
+    assert html.count("<svg") >= 4
+    for name in ("In-flight", "Logged bytes", "Non-acked", "Recovery-line"):
+        assert name in html
+
+
+def test_report_is_self_contained():
+    html, _ = render_report(
+        timeseries=_instrumented_rows(), sweep=SWEEP_DOC,
+        chaos=CHAOS_DOC, bench=BENCH,
+    )
+    # a single HTML file: no external scripts, stylesheets or resources
+    # (the SVG xmlns URL is declarative, not a fetch)
+    for needle in ("<script src=", "<link ", "@import", "url(",
+                   "fetch(", "XMLHttpRequest"):
+        assert needle not in html
+    assert html.startswith("<!DOCTYPE html>")
+
+
+def test_report_sections():
+    html, _ = render_report(
+        timeseries=_instrumented_rows(), sweep=SWEEP_DOC,
+        chaos=CHAOS_DOC, bench=BENCH, title="t", subtitle="s",
+    )
+    assert "Sweep" in html and "Chaos campaign" in html
+    assert "Benchmarks" in html
+    assert "RuntimeError: boom" not in html  # error text stays in the JSON
+    assert "validity" in html  # oracle failure named
+    assert "Throughput vs scale" in html
+
+
+def test_report_empty_inputs():
+    html, n_charts = render_report()
+    assert n_charts == 0
+    assert "nothing to render" in html
+
+
+def test_write_report(tmp_path):
+    path = tmp_path / "dash.html"
+    html, _ = render_report(timeseries=_instrumented_rows())
+    write_report(str(path), html)
+    assert path.read_text(encoding="utf-8") == html
+
+
+def test_line_chart_handles_empty_and_restarts():
+    empty = svg_line_chart("c0", "Empty", [], [])
+    assert "no data" in empty
+    # merged multi-task series restart the x axis; the polyline must split
+    x = [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+    chart = svg_line_chart(
+        "c1", "Restarts", x,
+        [{"name": "s", "y": [1, 2, 3, 4, 5, 6], "slot": 1}],
+        y_label="v",
+    )
+    assert chart.count("<polyline") >= 2
+
+
+def test_bar_chart_escapes_labels():
+    chart = svg_bar_chart(
+        "b1", "Bars", [("<script>", 2.0, None), ("ok", 1.0, "critical")],
+        value_fmt=lambda v: f"{v:.0f}",
+    )
+    assert "<script>" not in chart
+    assert "&lt;script&gt;" in chart

@@ -1,0 +1,91 @@
+"""Live JSONL progress stream: event schema, sinks, and the campaign
+integration (one ``task_done`` per trial between begin/end markers)."""
+
+import io
+import json
+
+from repro.chaos import run_campaign
+from repro.obs.stream import (
+    STREAM_SCHEMA_VERSION,
+    ProgressStream,
+    snapshot_counter_totals,
+    stream_progress,
+)
+from repro.sweep import SweepResult
+
+
+def events_of(buf: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+def test_emit_schema():
+    buf = io.StringIO()
+    stream = ProgressStream(buf)
+    stream.emit("campaign_begin", campaign="x", tasks=3)
+    stream.emit("task_done", index=0)
+    evs = events_of(buf)
+    assert [e["kind"] for e in evs] == ["campaign_begin", "task_done"]
+    assert [e["seq"] for e in evs] == [1, 2]
+    for e in evs:
+        assert e["v"] == STREAM_SCHEMA_VERSION
+        assert e["elapsed_s"] >= 0
+        # keys are sorted so the stream is diff-friendly
+        assert list(json.loads(json.dumps(e)).keys()) == sorted(e.keys())
+
+
+def test_open_stderr_and_file(tmp_path, capsys):
+    err = ProgressStream.open("-")
+    err.emit("task_done", index=1)
+    err.close()  # must not close sys.stderr
+    assert json.loads(capsys.readouterr().err)["index"] == 1
+
+    path = tmp_path / "stream.jsonl"
+    with ProgressStream.open(str(path)) as fs:
+        fs.emit("task_done", index=2)
+    assert json.loads(path.read_text())["index"] == 2
+
+
+def test_stream_progress_fields():
+    buf = io.StringIO()
+    stream = ProgressStream(buf)
+    seen = []
+    cb = stream_progress(stream, total=2, inner=seen.append)
+    ok = SweepResult(index=0, name="a", status="ok", duration=0.25,
+                     value={"passed": True})
+    bad = SweepResult(index=1, name="b", status="error", error="boom",
+                      duration=0.5)
+    cb(ok)
+    cb(bad)
+    evs = events_of(buf)
+    assert evs[0]["status"] == "ok" and evs[0]["passed"] is True
+    assert evs[0]["done"] == 1 and evs[0]["total"] == 2
+    assert evs[0]["duration_s"] == 0.25
+    assert evs[1]["status"] == "error" and evs[1]["error"] == "boom"
+    assert evs[1]["done"] == 2
+    assert seen == [ok, bad]  # inner callback still chained
+
+
+def test_snapshot_counter_totals():
+    snap = {"instruments": {
+        "network.messages_delivered": {
+            "type": "counter", "values": [((0,), 3.0), ((1,), 4.0)]},
+        "some.gauge": {"type": "gauge", "values": []},
+    }}
+    assert snapshot_counter_totals(snap) == {
+        "network.messages_delivered": 7.0}
+    assert snapshot_counter_totals(None) == {}
+
+
+def test_chaos_campaign_streams_events():
+    buf = io.StringIO()
+    report = run_campaign(3, seed=7, stream=ProgressStream(buf))
+    evs = events_of(buf)
+    kinds = [e["kind"] for e in evs]
+    assert kinds[0] == "campaign_begin" and kinds[-1] == "campaign_end"
+    dones = [e for e in evs if e["kind"] == "task_done"]
+    assert len(dones) == 3
+    assert sorted(e["index"] for e in dones) == [0, 1, 2]
+    assert all("passed" in e for e in dones)
+    end = evs[-1]
+    assert end["ok"] == report.ok
+    assert end["passed"] == report.passed

@@ -91,3 +91,81 @@ def test_domino_command(capsys):
     assert main(["domino", "--ranks", "8"]) == 0
     out = capsys.readouterr().out
     assert "rolled back" in out
+
+
+# ----------------------------------------------------------------------
+# Time-resolved telemetry (PR 8): --timeseries, --stream, repro report
+# ----------------------------------------------------------------------
+def test_table1_timeseries_identical_across_workers(tmp_path, capsys):
+    outs, dumps = [], []
+    for i, workers in enumerate(("1", "2")):
+        ts_out = tmp_path / f"ts{i}.jsonl"
+        assert main(["table1", "--kernels", "CG", "--ranks", "8",
+                     "--clusters", "2", "--niters", "4",
+                     "--workers", workers, "--timeseries",
+                     "--timeseries-out", str(ts_out)]) == 0
+        outs.append(capsys.readouterr().out)
+        dumps.append(ts_out.read_bytes())
+    assert outs[0] == outs[1]
+    assert "timeseries:" in outs[0]
+    assert dumps[0] == dumps[1]  # byte-identical JSONL for any -N
+
+
+def test_table1_stream_events(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "stream.jsonl"
+    assert main(["table1", "--kernels", "CG", "--ranks", "8",
+                 "--clusters", "2", "--niters", "4",
+                 "--stream", str(path)]) == 0
+    capsys.readouterr()
+    evs = [json.loads(line) for line in path.read_text().splitlines()]
+    kinds = [e["kind"] for e in evs]
+    assert kinds == ["campaign_begin", "task_done", "campaign_end"]
+    assert evs[0]["campaign"] == "table1"
+    assert evs[1]["status"] == "ok"
+    assert evs[2]["ok"] is True
+
+
+def test_obs_text_format(capsys):
+    assert main(["obs", "--ranks", "4", "--clusters", "2",
+                 "--format", "text", "--timeseries"]) == 0
+    out = capsys.readouterr().out
+    assert "counter" in out and "histogram" in out
+    assert "p50=" in out
+    assert "timeseries interval=" in out
+
+
+def test_obs_timeseries_out_requires_flag(tmp_path, capsys):
+    path = tmp_path / "ts.jsonl"
+    assert main(["obs", "--ranks", "4", "--clusters", "2",
+                 "--timeseries-out", str(path)]) == 2
+    capsys.readouterr()
+
+
+def test_report_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "dash.html"
+    assert main(["report", "--out", str(out), "--ranks", "4",
+                 "--clusters", "2"]) == 0
+    stdout = capsys.readouterr().out
+    assert "report ->" in stdout
+    html = out.read_text(encoding="utf-8")
+    assert html.count("<svg") >= 4
+    for needle in ("<script src=", "<link ", "@import", "url("):
+        assert needle not in html
+
+
+def test_report_from_timeseries_dump(tmp_path, capsys):
+    ts = tmp_path / "ts.jsonl"
+    assert main(["obs", "--ranks", "4", "--clusters", "2",
+                 "--timeseries", "--timeseries-out", str(ts),
+                 "--out", str(tmp_path / "m.jsonl")]) == 0
+    out = tmp_path / "dash.html"
+    assert main(["report", "--out", str(out),
+                 "--timeseries", str(ts)]) == 0
+    capsys.readouterr()
+    html = out.read_text(encoding="utf-8")
+    assert html.count("<svg") >= 4
+    assert "In-flight" in html
