@@ -5,7 +5,7 @@ package searches for unknown ones.  A campaign draws hundreds of seeded
 random failure schedules — varying the app kernel, the protocol's config
 axes, and the rank / multiplicity / virtual-time *and* logical placement
 of fail-stop failures — runs each against the simulator, and holds every
-trial to four oracles (recovery settles, the recovered execution is valid,
+trial to five oracles (recovery settles, the recovered execution is valid,
 the runtime sanitizer stays clean, and a re-run is bit-identical).  A
 failing schedule is delta-debugged down to a minimal reproducer emitted as
 a ready-to-paste pytest.

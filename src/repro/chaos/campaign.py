@@ -3,7 +3,7 @@
 A campaign is ``N`` independent trials, each generated from a per-trial
 seed derived with the same keyed-blake2b scheme as every other sweep in
 the repo (:func:`repro.sweep.task_seed`), executed inline or across a
-process pool with crash isolation, and scored against the four oracles.
+process pool with crash isolation, and scored against the five oracles.
 Trial ``i`` of campaign seed ``S`` is the same schedule for any worker
 count, platform or interpreter invocation — a failing trial is quoted by
 ``(campaign_seed, index)`` and anyone can replay it.

@@ -1,6 +1,6 @@
 """Validity oracles for chaos trials.
 
-Every trial must pass **all four** oracles, each a concrete, checkable
+Every trial must pass **all five** oracles, each a concrete, checkable
 form of the paper's guarantees:
 
 ``settles``
@@ -22,6 +22,13 @@ form of the paper's guarantees:
     same recovered execution: identical send sequences, final virtual
     time, recovery rounds, rollback sets and application results — the
     recovered execution itself is send-deterministic.
+``witness``
+    Send-determinism as a per-rank certificate: the chaos run's witness
+    hash chains (:func:`repro.simmpi.trace.send_witness_chains`, folding
+    every logical send's ``(dst, date, tag, size, payload digest)``)
+    match the failure-free reference's chain for chain — the same
+    witness ``repro certify --dynamic`` compares across adversarial
+    delivery schedules.
 """
 
 from __future__ import annotations
@@ -32,12 +39,13 @@ from typing import Any
 import numpy as np
 
 from ..analysis.validity import compare_executions
+from ..simmpi.trace import send_witness_chains
 
-__all__ = ["ORACLES", "OracleResult", "TrialResult",
-           "oracle_validity", "run_digest", "oracle_determinism"]
+__all__ = ["ORACLES", "OracleResult", "TrialResult", "oracle_validity",
+           "oracle_witness", "run_digest", "oracle_determinism"]
 
-#: the four oracles, in evaluation order
-ORACLES = ("settles", "validity", "sanitize", "determinism")
+#: the five oracles, in evaluation order
+ORACLES = ("settles", "validity", "sanitize", "determinism", "witness")
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,28 @@ def oracle_validity(ref_world: Any, world: Any,
     report = compare_executions(ref_world, world,
                                 check_results=check_results)
     return OracleResult("validity", report.valid, report.summary())
+
+
+def oracle_witness(ref_world: Any, world: Any) -> OracleResult:
+    """Send-witness certificate: the chaos run's per-rank witness chains
+    equal the reference run's.
+
+    Chains are in-process-comparable only (salted str/bytes digests), so
+    both worlds must come from the same interpreter — which is exactly
+    how trials run."""
+    try:
+        ref_chains = send_witness_chains(ref_world.tracer)
+        chains = send_witness_chains(world.tracer)
+    except Exception as exc:  # SendDeterminismError from dedup-by-date
+        return OracleResult("witness", False, f"chain unavailable: {exc}")
+    if ref_chains == chains:
+        return OracleResult(
+            "witness", True,
+            f"{len(chains)} per-rank witness chains match the reference")
+    bad = [r for r, (a, b) in enumerate(zip(ref_chains, chains)) if a != b]
+    return OracleResult(
+        "witness", False,
+        f"witness chain diverged from reference on rank(s) {bad}")
 
 
 def _digest_value(value: Any) -> Any:

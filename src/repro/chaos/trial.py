@@ -34,6 +34,7 @@ from .oracles import (
     TrialResult,
     oracle_determinism,
     oracle_validity,
+    oracle_witness,
     run_digest,
 )
 from .schedule import (
@@ -256,7 +257,7 @@ def run_trial_schedule(
     sanitize: bool = True,
     check_determinism: bool = True,
 ) -> TrialResult:
-    """Execute one schedule and evaluate the four oracles.
+    """Execute one schedule and evaluate the five oracles.
 
     ``obs`` (a :class:`repro.obs.MetricsRegistry`) instruments the chaos
     run; its flight-record stream is attached to the result when an
@@ -318,15 +319,19 @@ def run_trial_schedule(
                 "sanitize", True, f"clean ({ticks} engine-side checks)")
 
     # Oracle 2: validity against the reference (only meaningful if the
-    # run completed).
+    # run completed).  Oracle 5: the send-witness certificate — the
+    # recovered run's per-rank witness chains equal the reference's.
     if exc is None:
         result.oracles["validity"] = oracle_validity(
             ref_world, world,
             check_results=not KERNELS[schedule.kernel].timing_result,
         )
+        result.oracles["witness"] = oracle_witness(ref_world, world)
     else:
         result.oracles["validity"] = OracleResult(
             "validity", False, "not evaluated: run did not settle")
+        result.oracles["witness"] = OracleResult(
+            "witness", False, "not evaluated: run did not settle")
 
     # Oracle 4: bit-identical re-run.
     if check_determinism and exc is None:

@@ -16,7 +16,12 @@ Thin front-end over the library for the common workflows:
   flight streams as JSON-lines or CSV, or a Perfetto trace
   (see ``docs/observability.md``);
 * ``lint`` — static determinism linter (RPD rules, ``# repro: noqa``
-  suppressions, text/JSON output; see ``docs/static-analysis.md``).
+  suppressions, text/JSON output; see ``docs/static-analysis.md``);
+* ``certify`` — send-determinism certifier: static taint analysis over
+  the ``RankProgram`` kernels (SD rules), optional differential
+  delivery-order verification (``--dynamic``), and the certification
+  registry that ``table1``/``sweep``/``chaos`` consult at campaign
+  start (``--strict-sd`` turns their warnings into refusals).
 
 The global ``--sanitize`` flag (before the subcommand) enables the
 runtime protocol-invariant sanitizer for the run, equivalent to setting
@@ -48,11 +53,25 @@ from .apps import TABLE1_KERNELS, Stencil2D
 from .baselines import run_domino_analysis
 from .core import ProtocolConfig, build_ft_world
 from .core.clustering import Clustering, block_clusters
+from .lint.certify import (
+    DEFAULT_JITTER,
+    DEFAULT_REGISTRY,
+    DEFAULT_SCHEDULES,
+)
 from .lint.sanitize import ENV_VAR as SANITIZE_ENV_VAR
 from .netmodel import MODES, PerfModel
 from .obs.timeseries import DEFAULT_TIMESERIES_INTERVAL
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_strict_sd_arg(p: argparse.ArgumentParser) -> None:
+    """Shared certification-gate flag (table1 / sweep / chaos)."""
+    p.add_argument("--strict-sd", action="store_true",
+                   help="refuse to run kernels that are not certified "
+                        "send-deterministic in the certification registry "
+                        f"({DEFAULT_REGISTRY}; see `repro certify`); "
+                        "without this flag uncertified kernels only warn")
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -98,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fan cells across N worker processes (1 = inline, "
                          "output identical either way)")
     _add_telemetry_args(t1)
+    _add_strict_sd_arg(t1)
 
     sw = sub.add_parser(
         "sweep", help="fan independent scenario runs across worker processes"
@@ -114,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--out", default=None,
                     help="write structured JSON results here")
     _add_telemetry_args(sw)
+    _add_strict_sd_arg(sw)
 
     sub.add_parser("fig6", help="ping-pong latency/bandwidth table")
 
@@ -205,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--stream", default=None, metavar="PATH",
                        help="live JSONL progress stream: one event per "
                             "trial plus campaign begin/end ('-' = stderr)")
+    _add_strict_sd_arg(chaos)
 
     rep = sub.add_parser(
         "report",
@@ -254,6 +276,35 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None, help="drop these rule codes")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    cert = sub.add_parser(
+        "certify",
+        help="send-determinism certifier: static taint analysis over "
+             "RankProgram kernels (SD rules), differential delivery-order "
+             "verification (--dynamic), JSON certification registry",
+    )
+    cert.add_argument("paths", nargs="*",
+                      help="files or directories holding kernels (default: "
+                           "the installed repro.apps package)")
+    cert.add_argument("--kernels", nargs="+", default=None, metavar="CLASS",
+                      help="restrict to these kernel class names")
+    cert.add_argument("--dynamic", action="store_true",
+                      help="also run each kernel under K adversarial "
+                           "delivery schedules and require bit-identical "
+                           "send-witness chains")
+    cert.add_argument("--schedules", type=int, default=DEFAULT_SCHEDULES,
+                      help="adversarial delivery schedules per kernel "
+                           f"(default {DEFAULT_SCHEDULES})")
+    cert.add_argument("--jitter", type=float, default=DEFAULT_JITTER,
+                      help="relative transit-time jitter in [0, 1) for the "
+                           f"adversarial schedules (default {DEFAULT_JITTER})")
+    cert.add_argument("--base-seed", type=int, default=2026,
+                      help="seed base for the jitter streams")
+    cert.add_argument("--out", default=DEFAULT_REGISTRY, metavar="PATH",
+                      help="write the certification registry JSON here "
+                           f"(default {DEFAULT_REGISTRY}; '-' skips the "
+                           "write)")
+    cert.add_argument("--format", choices=["text", "json"], default="text")
     return parser
 
 
@@ -393,10 +444,32 @@ def _write_timeseries(registry, path: str) -> None:
         fh.write(dump_timeseries(registry, "jsonl"))
 
 
+def _sd_gate(kernels, strict: bool) -> int:
+    """Campaign-start certification check; 0 to proceed, 2 to refuse.
+
+    ``kernels``: classes and/or class names about to run.  Uncertified,
+    stale or VIOLATION kernels warn on stderr — or, under ``--strict-sd``,
+    abort the campaign before any world is built."""
+    from .errors import ConfigError
+    from .lint.certify import check_campaign_certification
+
+    try:
+        warnings = check_campaign_certification(kernels, strict=strict)
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, ProgressStream, stream_progress
     from .sweep import run_sweep
 
+    gate = _sd_gate([TABLE1_KERNELS[k] for k in args.kernels], args.strict_sd)
+    if gate:
+        return gate
     registry = MetricsRegistry()
     tasks = table1_tasks(args.kernels, args.ranks, args.clusters, args.niters)
     stream = ProgressStream.open(args.stream) if args.stream else None
@@ -483,6 +556,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, ProgressStream, stream_progress
     from .sweep import SweepTask, run_sweep, save_results
 
+    gate = _sd_gate(
+        sorted(TABLE1_KERNELS.values(), key=lambda c: c.__name__)
+        if args.scenario == "table1" else [Stencil2D],
+        args.strict_sd,
+    )
+    if gate:
+        return gate
     if args.scenario == "table1":
         kernels = sorted(TABLE1_KERNELS)
         tasks = table1_tasks(kernels, [args.ranks], [args.clusters],
@@ -699,7 +779,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """Chaos campaign; exit 0 when every trial passes all four oracles."""
+    """Chaos campaign; exit 0 when every trial passes all five oracles."""
     from .chaos import SYNTHETIC_BUGS, replay_trial, run_campaign
     from .chaos.oracles import ORACLES
     from .obs import MetricsRegistry
@@ -709,6 +789,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"(have {sorted(SYNTHETIC_BUGS)})", file=sys.stderr)
         return 2
     kernels = tuple(args.kernels) if args.kernels else None
+
+    from .chaos.schedule import KERNELS as CHAOS_KERNELS
+    from .lint.certify import chaos_pool_classes
+
+    gate = _sd_gate(
+        chaos_pool_classes(kernels if kernels else sorted(CHAOS_KERNELS)),
+        args.strict_sd,
+    )
+    if gate:
+        return gate
 
     if args.replay is not None:
         verdict = replay_trial(
@@ -884,6 +974,54 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def cmd_certify(args: argparse.Namespace) -> int:
+    """Send-determinism certification; exit 0 when every analyzed kernel
+    is PROVEN_SD or CONDITIONAL (and no bare-SD-noqa/parse errors), 1 on
+    violations, 2 on usage errors."""
+    from .lint.certify import (
+        OK_VERDICTS,
+        build_registry,
+        render_registry_text,
+        save_registry,
+    )
+
+    paths = args.paths or [
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "apps")
+    ]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"path does not exist: {path}", file=sys.stderr)
+            return 2
+    registry = build_registry(
+        paths, kernels=args.kernels, dynamic=args.dynamic,
+        schedules=args.schedules, jitter=args.jitter,
+        base_seed=args.base_seed,
+    )
+    if args.kernels:
+        missing = sorted(set(args.kernels) - set(registry["kernels"]))
+        if missing:
+            print(f"kernel(s) not found under {paths}: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 2
+    if not registry["kernels"] and not registry["errors"]:
+        print(f"no RankProgram kernels found under {paths}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(registry, indent=1, sort_keys=True))
+    else:
+        print(render_registry_text(registry))
+    if args.out and args.out != "-":
+        save_registry(registry, args.out)
+        print(f"registry -> {args.out}", file=sys.stderr)
+    clean = (
+        all(e.get("verdict") in OK_VERDICTS
+            for e in registry["kernels"].values())
+        and not registry["errors"]
+        and not registry["noqa_findings"]
+    )
+    return 0 if clean else 1
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "table1": cmd_table1,
@@ -896,6 +1034,7 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "report": cmd_report,
     "lint": cmd_lint,
+    "certify": cmd_certify,
 }
 
 

@@ -36,6 +36,7 @@ from ..errors import ProtocolError
 from ..lint.sanitize import sanitizer_for
 from ..obs.flight import FlightKind
 from ..simmpi.message import CONTROL_TAG_BASE, Envelope, retention_copy
+from ..simmpi.trace import payload_digest
 from ..simmpi.process import ProtocolHook
 from .state import LoggedMessage, PendingAck, ProtocolState
 
@@ -188,6 +189,12 @@ class SDProtocol(ProtocolHook):
         meta["date"] = date
         meta["epoch"] = st.epoch
         meta["phase"] = st.phase
+        if self.san is not None:
+            # send-determinism witness: a recovery re-execution reaches
+            # this same path with the same restored date counter, so it
+            # must reproduce the original (dst, tag, size, payload)
+            self.san.send_witness(self.rank, date, env.dst, env.tag,
+                                  env.size, payload_digest(env.payload))
         if self._ack_batch > 1 and self._pending_acks:
             # piggyback every ack we owe this peer on the outgoing message
             batch = self._pending_acks.pop(env.dst, None)
@@ -741,6 +748,13 @@ class SDProtocol(ProtocolHook):
         env.meta["epoch"] = epoch_send
         env.meta["phase"] = phase_send
         env.meta["replayed"] = True
+        if self.san is not None:
+            # log replays must re-emit the witnessed message; a payload the
+            # log did not retain (retain_payloads=False) checks shape only
+            self.san.send_witness(
+                self.rank, date, dst, tag, size,
+                payload_digest(payload) if payload is not None else None,
+            )
         if relog and not self.state.na_contains(dst, date):
             self.state.na_append(
                 PendingAck(dst=dst, tag=tag, payload=retention_copy(payload),

@@ -21,6 +21,7 @@ from .checker import DeterminismChecker, lint_source
 from .noqa import parse_suppressions
 from .rules import PARSE_ERROR_CODE, RULES, RULE_CODES, LintFinding, Rule, module_parts
 from .runner import (
+    JSON_SCHEMA_VERSION,
     LintReport,
     iter_python_files,
     lint_paths,
@@ -28,6 +29,7 @@ from .runner import (
     render_json,
     render_text,
 )
+from .sendet import VERDICTS, KernelReport, analyze_paths, analyze_sources
 from .sanitize import (
     AUDIT_INTERVAL,
     ENV_VAR,

@@ -2,9 +2,20 @@
 
 A finding is suppressed when its *physical line* carries a marker:
 
-* ``# repro: noqa`` — suppress every rule on that line;
+* ``# repro: noqa`` — suppress every RPD rule on that line;
 * ``# repro: noqa[RPD002]`` — suppress the listed code;
-* ``# repro: noqa[RPD001,RPD003]`` — suppress several codes.
+* ``# repro: noqa[RPD001,RPD003]`` — suppress several codes;
+* ``# repro: noqa[SD101]: children combined in sorted order`` — suppress
+  an SD (send-determinism) finding *with the mandatory justification*.
+
+The SD family carries the certifier's verdicts, so its suppressions are
+held to a higher bar than the RPD infrastructure rules: an SD code can
+only be suppressed by an **explicit code with a justification** after a
+colon.  A bare ``noqa[SD101]`` marker does not suppress — the original
+finding stays and the marker itself is reported as ``SD100`` — and a
+blanket ``# repro: noqa`` never silences SD findings.  Justified SD
+suppressions downgrade a kernel's verdict to CONDITIONAL rather than
+erasing the evidence (see :mod:`repro.lint.sendet`).
 
 The marker is deliberately namespaced (``repro:``) so it never collides
 with flake8/ruff's own ``# noqa`` and a reviewer can grep for protocol
@@ -20,26 +31,63 @@ import re
 __all__ = ["Suppressions", "parse_suppressions"]
 
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+    r"(?::\s*(?P<reason>\S.*?)\s*$)?",
+    re.IGNORECASE,
 )
 
 #: sentinel meaning "every code suppressed on this line"
 _ALL = frozenset({"*"})
 
+#: rule families requiring a justification after the code list
+_JUSTIFIED_PREFIX = "SD"
+
+
+def _needs_reason(code: str) -> bool:
+    return code.upper().startswith(_JUSTIFIED_PREFIX)
+
 
 class Suppressions:
-    """Per-file map of line number -> suppressed rule codes."""
+    """Per-file map of line number -> (suppressed codes, justification)."""
 
     __slots__ = ("_lines",)
 
-    def __init__(self, lines: dict[int, frozenset[str]]):
+    def __init__(self, lines: dict[int, tuple[frozenset[str], str | None]]):
         self._lines = lines
 
     def suppresses(self, line: int, code: str) -> bool:
-        codes = self._lines.get(line)
-        if codes is None:
+        entry = self._lines.get(line)
+        if entry is None:
             return False
+        codes, reason = entry
+        if _needs_reason(code):
+            # SD findings: explicit code + justification, no blanket pass
+            return code in codes and reason is not None
         return codes is _ALL or code in codes
+
+    def justification(self, line: int, code: str) -> str | None:
+        """The reason string when ``code`` is suppressed-with-reason on
+        ``line`` — what the certifier records as a CONDITIONAL assumption."""
+        entry = self._lines.get(line)
+        if entry is None:
+            return None
+        codes, reason = entry
+        if code in codes and reason is not None:
+            return reason
+        return None
+
+    def bare_sd_lines(self) -> list[tuple[int, frozenset[str]]]:
+        """Lines carrying SD codes *without* a justification — each one is
+        an ``SD100`` finding in its own right."""
+        out = []
+        for line in sorted(self._lines):
+            codes, reason = self._lines[line]
+            if reason is not None or codes is _ALL:
+                continue
+            sd = frozenset(c for c in codes if _needs_reason(c))
+            if sd:
+                out.append((line, sd))
+        return out
 
     def __len__(self) -> int:
         return len(self._lines)
@@ -47,7 +95,7 @@ class Suppressions:
 
 def parse_suppressions(source: str) -> Suppressions:
     """Scan ``source`` for noqa markers, one entry per marked line."""
-    lines: dict[int, frozenset[str]] = {}
+    lines: dict[int, tuple[frozenset[str], str | None]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         if "noqa" not in text:  # cheap pre-filter before the regex
             continue
@@ -55,10 +103,12 @@ def parse_suppressions(source: str) -> Suppressions:
         if m is None:
             continue
         raw = m.group("codes")
+        reason = m.group("reason")
         if raw is None:
-            lines[lineno] = _ALL
+            lines[lineno] = (_ALL, reason)
         else:
-            lines[lineno] = frozenset(
+            codes = frozenset(
                 c.strip().upper() for c in raw.split(",") if c.strip()
             )
+            lines[lineno] = (codes, reason)
     return Suppressions(lines)

@@ -152,6 +152,68 @@ RULES: tuple[Rule, ...] = (
                 "(or narrower)",
         applies_to=_everywhere,
     ),
+    # ------------------------------------------------------------------
+    # SD1xx — send-determinism certification of RankProgram kernels
+    # (the taint analysis in repro.lint.sendet; paper Section II-A).
+    # These fire wherever a RankProgram subclass is defined.
+    # ------------------------------------------------------------------
+    Rule(
+        code="SD100",
+        name="bare-sd-noqa",
+        summary="SD suppression marker without a justification; SD "
+                "suppressions must read `# repro: noqa[SDxxx]: <reason>` "
+                "and are ignored until justified",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="SD101",
+        name="order-dependent-send-data",
+        summary="a send/collective argument (destination, payload, tag, "
+                "size) depends on arrival order: ANY_SOURCE receive "
+                "results or arrival metadata flow into it without an "
+                "order-neutralizer (sorted/min/max/len)",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="SD102",
+        name="order-dependent-control-flow",
+        summary="a branch or loop condition dominating a send depends on "
+                "arrival order (ANY_SOURCE results, status metadata); the "
+                "send *sequence* then varies with delivery interleaving",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="SD103",
+        name="randomness-reaches-send",
+        summary="unseeded randomness (random.* global state, "
+                "np.random.default_rng() without a seed) reaches a send "
+                "argument or a condition dominating a send",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="SD104",
+        name="unordered-iteration-reaches-send",
+        summary="set/frozenset iteration order reaches a send argument or "
+                "state used by sends; wrap in sorted(...) or use an "
+                "ordered container",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="SD105",
+        name="time-reaches-send",
+        summary="a clock reading (wall clock, or api.now() — the virtual "
+                "clock moves with delivery timing) reaches a send "
+                "argument or a condition dominating a send",
+        applies_to=_everywhere,
+    ),
+    Rule(
+        code="SD106",
+        name="address-reaches-send",
+        summary="an id()-derived value (allocator address, varies run to "
+                "run) reaches a send argument or a condition dominating "
+                "a send",
+        applies_to=_everywhere,
+    ),
 )
 
 #: ``code -> Rule`` view of the catalog

@@ -2,9 +2,12 @@
 
 The runner walks the given paths (files or directories), lints every
 ``*.py`` in sorted order — deterministic output is table stakes for a
-determinism linter — and renders the findings as text or JSON.  Exit
-status: 0 clean, 1 findings, 2 usage errors (unknown rule code, missing
-path).
+determinism linter — and renders the findings as text or JSON.  Two
+passes run over the file set: the per-file :mod:`~repro.lint.checker`
+(RPD rules) and the cross-file send-determinism certifier
+:mod:`~repro.lint.sendet` (SD rules over ``RankProgram`` subclasses,
+with inheritance resolved across the whole path set).  Exit status: 0
+clean, 1 findings, 2 usage errors (unknown rule code, missing path).
 """
 
 from __future__ import annotations
@@ -16,8 +19,14 @@ from dataclasses import dataclass, field
 from .checker import lint_source
 from .rules import RULES, RULE_CODES, LintFinding
 
-__all__ = ["LintReport", "lint_paths", "iter_python_files",
-           "render_text", "render_json", "list_rules_text"]
+__all__ = ["JSON_SCHEMA_VERSION", "LintReport", "lint_paths",
+           "iter_python_files", "render_text", "render_json",
+           "list_rules_text"]
+
+#: version of the JSON report document emitted by :func:`render_json`
+#: (same convention as ``repro.obs.stream``: bump on breaking shape
+#: changes so downstream consumers can dispatch on ``"v"``)
+JSON_SCHEMA_VERSION = 1
 
 #: directories never descended into
 _SKIP_DIRS = frozenset({
@@ -89,6 +98,8 @@ def lint_paths(
     ignore: list[str] | None = None,
 ) -> LintReport:
     """Lint every Python file under ``paths``."""
+    from .sendet import analyze_sources
+
     report = LintReport()
     sel = _validate_codes(select, "select", report.errors)
     ign = _validate_codes(ignore, "ignore", report.errors)
@@ -96,16 +107,33 @@ def lint_paths(
     report.errors.extend(path_errors)
     if report.errors:
         return report
+    sources: dict[str, str] = {}
     for path in files:
         try:
             with open(path, encoding="utf-8") as fh:
-                source = fh.read()
+                sources[path] = fh.read()
         except OSError as exc:
             report.errors.append(f"cannot read {path}: {exc}")
-            continue
+    # pass 1: per-file RPD checker
+    per_file: dict[str, list[LintFinding]] = {}
+    for path in sorted(sources):
         report.files_checked += 1
+        per_file[path] = list(
+            lint_source(sources[path], path=path, select=sel, ignore=ign)
+        )
+    # pass 2: cross-file send-determinism certification (SD rules); the
+    # whole path set is one inheritance scope, so a kernel subclassing a
+    # base in a sibling file still resolves
+    sd = analyze_sources(sources)
+    for finding in sd.all_findings():
+        if sel is not None and finding.code not in sel:
+            continue
+        if ign is not None and finding.code in ign:
+            continue
+        per_file.setdefault(finding.path, []).append(finding)
+    for path in sorted(per_file):
         report.findings.extend(
-            lint_source(source, path=path, select=sel, ignore=ign)
+            sorted(per_file[path], key=lambda f: (f.line, f.col, f.code))
         )
     return report
 
@@ -123,8 +151,9 @@ def render_text(report: LintReport) -> str:
 
 
 def render_json(report: LintReport) -> str:
-    """Machine-readable report (stable key order)."""
+    """Machine-readable report (stable key order, versioned schema)."""
     doc = {
+        "v": JSON_SCHEMA_VERSION,
         "files_checked": report.files_checked,
         "findings": [f.to_json() for f in report.findings],
         "errors": list(report.errors),

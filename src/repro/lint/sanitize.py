@@ -31,6 +31,14 @@ correctness argument rests on:
     The engine's O(1) pending-event counter agrees with the queue's
     actual live-entry count (amortised: every ``AUDIT_INTERVAL``
     dispatches).
+``send_witness``
+    Send-determinism, checked live (paper Section II-A): the first
+    emission of each send date registers its witness ``(dst, tag, size,
+    payload digest)``; any recovery re-emission of the same date must
+    reproduce it bit-for-bit.  A replay whose payload was not retained
+    (``digest=None``) still checks destination, tag and size.  This is
+    the runtime twin of the static SD certifier in
+    :mod:`repro.lint.sendet`.
 
 Cost model: the enabled checks are O(1) per event except the two
 recovery-line checks (once per recovery round) and the engine audit
@@ -78,6 +86,7 @@ INVARIANTS: tuple[str, ...] = (
     "rl_fixpoint_stable",
     "rl_monotone",
     "engine_pending_audit",
+    "send_witness",
 )
 
 
@@ -103,10 +112,12 @@ class Sanitizer:
     ``sanitize.checks`` so CI can prove every invariant actually ran.
     """
 
-    __slots__ = ("checks", "_cells")
+    __slots__ = ("checks", "_cells", "_witness")
 
     def __init__(self, obs: Any = None):
         self.checks: dict[str, int] = {}
+        #: rank -> {send date -> (dst, tag, size, digest)} witness registry
+        self._witness: dict[int, dict[int, tuple]] = {}
         if obs is not None and getattr(obs, "enabled", False):
             # per-invariant cardinality is the fixed INVARIANTS tuple, so
             # every series slot-resolves at construction
@@ -221,6 +232,38 @@ class Sanitizer:
                 self._fail("rl_monotone",
                            f"recovery line restarts rank {rank} at epoch "
                            f"{epoch}, above its bound {bound}")
+
+    # ------------------------------------------------------------------
+    # Send-determinism witness (per application send, incl. replays)
+    # ------------------------------------------------------------------
+    def send_witness(self, rank: int, date: int, dst: int, tag: int,
+                     size: int, digest: int | None) -> None:
+        """Register or verify the witness of one dated application send.
+
+        First emission of ``date`` records ``(dst, tag, size, digest)``;
+        every later emission — a recovery re-execution or log replay —
+        must match it.  ``digest=None`` (payload not retained by the
+        log) skips only the payload comparison.
+        """
+        self._tick("send_witness")
+        per_rank = self._witness.setdefault(rank, {})
+        prior = per_rank.get(date)
+        if prior is None:
+            per_rank[date] = (dst, tag, size, digest)
+            return
+        pdst, ptag, psize, pdigest = prior
+        if (dst, tag, size) != (pdst, ptag, psize):
+            self._fail("send_witness",
+                       f"rank {rank} re-sent date {date} as "
+                       f"(dst={dst}, tag={tag}, size={size}); witness "
+                       f"recorded (dst={pdst}, tag={ptag}, size={psize})")
+        if digest is not None and pdigest is not None and digest != pdigest:
+            self._fail("send_witness",
+                       f"rank {rank} re-sent date {date} with payload "
+                       f"digest {digest}; witness recorded {pdigest}")
+        if pdigest is None and digest is not None:
+            # a later emission retained the payload: tighten the witness
+            per_rank[date] = (pdst, ptag, psize, digest)
 
     # ------------------------------------------------------------------
     # Engine-layer check (amortised per AUDIT_INTERVAL dispatches)

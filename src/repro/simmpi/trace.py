@@ -12,6 +12,7 @@ The tracer is the measurement substrate for the paper's evaluation:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -19,7 +20,7 @@ import numpy as np
 
 from .message import Envelope
 
-__all__ = ["TraceEvent", "SendRecord", "Tracer"]
+__all__ = ["TraceEvent", "SendRecord", "Tracer", "send_witness_chains"]
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,33 @@ def payload_digest(payload: Any) -> int:
         return hash(payload) & (2**63 - 1)
     except TypeError:
         return hash(repr(payload)) & (2**63 - 1)
+
+
+def send_witness_chains(tracer: "Tracer") -> list[str]:
+    """Per-rank witness hash chain over the *logical* send sequence.
+
+    Each rank's chain folds ``(dst, date-or-index, tag, size, digest)``
+    of every logical send through blake2b, so two executions produced
+    identical send sequences iff their chains match element-wise.  This
+    is the certificate the differential delivery-order verifier compares
+    across adversarial schedules (``repro certify --dynamic``) and the
+    chaos harness's send-witness oracle checks against the reference run.
+
+    Chains are comparable **within one process only**: ``payload_digest``
+    falls back to Python's salted ``hash()`` for str/bytes payloads, so
+    digests — and therefore chains — differ across interpreter
+    invocations.  Persist verdicts, not chains.
+    """
+    chains: list[str] = []
+    for rank, seq in enumerate(tracer.logical_send_sequences()):
+        h = hashlib.blake2b(digest_size=16)
+        for i, rec in enumerate(seq):
+            date = rec.date if rec.date is not None else i
+            h.update(
+                f"{rec.dst},{date},{rec.tag},{rec.size},{rec.digest};".encode()
+            )
+        chains.append(h.hexdigest())
+    return chains
 
 
 class Tracer:

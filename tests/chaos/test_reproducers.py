@@ -4,7 +4,7 @@ Each schedule below is the shrunk form of a corner the chaos campaign
 drives: a second failure arriving during the post-failure network drain,
 a re-kill of a rank that just finished restoring, and two failures queued
 back-to-back behind an in-flight recovery round.  They pin today's
-correct behavior — all four oracles must keep passing — and double as
+correct behavior — all five oracles must keep passing — and double as
 documentation of the exact virtual-time geometry of each corner.
 """
 

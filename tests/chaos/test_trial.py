@@ -1,4 +1,4 @@
-"""Trial execution and the four oracles."""
+"""Trial execution and the five oracles."""
 
 import pytest
 

@@ -27,8 +27,10 @@ def codes(source, path=ANY, **kw):
 # ----------------------------------------------------------------------
 
 def test_catalog_codes_unique_and_stable():
-    assert len(RULE_CODES) == len(RULES) == 7
-    assert sorted(RULE_CODES) == [f"RPD00{i}" for i in range(1, 8)]
+    assert len(RULE_CODES) == len(RULES) == 14
+    assert sorted(RULE_CODES) == (
+        [f"RPD00{i}" for i in range(1, 8)] + [f"SD10{i}" for i in range(7)]
+    )
     assert PARSE_ERROR_CODE == "RPD000"
 
 

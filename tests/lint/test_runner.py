@@ -38,6 +38,18 @@ DIRTY = textwrap.dedent("""\
         pass
     except:
         pass
+
+    class BadKernel(RankProgram):
+        def run(self, api):
+            acc = yield api.recv()
+            if acc > 0:
+                yield api.send(1, acc)
+            yield api.send(random.randrange(2), 0)
+            for k in {1, 2}:
+                yield api.send(1, k)
+            yield api.send(1, time.time())
+            yield api.send(1, id(api))
+            yield api.send(0, acc)  # repro: noqa[SD101]
 """)
 
 
@@ -177,4 +189,5 @@ def test_render_json_stable_shape(tmp_path):
     (tmp_path / "clean.py").write_text("VALUE = 1\n")
     report = lint_paths([str(tmp_path)])
     doc = json.loads(render_json(report))
-    assert list(sorted(doc)) == ["errors", "exit_code", "files_checked", "findings"]
+    assert list(sorted(doc)) == ["errors", "exit_code", "files_checked", "findings", "v"]
+    assert doc["v"] == 1

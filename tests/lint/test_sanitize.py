@@ -192,3 +192,53 @@ def test_sanitized_run_is_execution_transparent(monkeypatch):
     on.launch()
     on.run()
     assert signature(on) == signature(off)
+
+
+# ----------------------------------------------------------------------
+# send_witness: the send-determinism invariant
+# ----------------------------------------------------------------------
+
+def test_send_witness_first_emission_registers():
+    san = Sanitizer()
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest="abc")
+    assert san.checks["send_witness"] == 1
+
+
+def test_send_witness_matching_replay_passes():
+    san = Sanitizer()
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest="abc")
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest="abc")  # replay
+    assert san.checks["send_witness"] == 2
+
+
+def test_send_witness_envelope_mismatch_raises():
+    san = Sanitizer()
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest="abc")
+    with _raises("send_witness"):
+        san.send_witness(0, 3, dst=2, tag=7, size=64, digest="abc")
+
+
+def test_send_witness_payload_mismatch_raises():
+    san = Sanitizer()
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest="abc")
+    with _raises("send_witness"):
+        san.send_witness(0, 3, dst=1, tag=7, size=64, digest="OTHER")
+
+
+def test_send_witness_none_digest_is_tolerated_then_tightened():
+    san = Sanitizer()
+    # replay from a log without a payload digest: envelope-only check
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest=None)
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest="abc")  # tightens
+    with _raises("send_witness"):
+        san.send_witness(0, 3, dst=1, tag=7, size=64, digest="xyz")
+
+
+def test_send_witness_is_per_rank_and_per_date():
+    san = Sanitizer()
+    san.send_witness(0, 3, dst=1, tag=7, size=64, digest="abc")
+    # same date on another rank, different envelope: fine
+    san.send_witness(1, 3, dst=0, tag=7, size=64, digest="zzz")
+    # another date on the same rank: fine
+    san.send_witness(0, 4, dst=2, tag=9, size=8, digest="qqq")
+    assert san.checks["send_witness"] == 3

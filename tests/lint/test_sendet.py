@@ -1,0 +1,283 @@
+"""Send-determinism certifier: every planted violation family is caught
+with a source->sink evidence path, deterministic shapes are proven, and
+the shipped kernels certify clean."""
+
+import os
+import textwrap
+
+from repro.lint import VERDICTS, analyze_paths, analyze_sources
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+APPS = os.path.join(REPO, "src", "repro", "apps")
+
+HEADER = "from repro.apps.base import RankProgram\n\n"
+
+
+def analyze(body: str):
+    """Analyze one fixture kernel; return its KernelReport."""
+    src = HEADER + textwrap.dedent(body)
+    result = analyze_sources({"fixture.py": src})
+    assert not result.errors, result.errors
+    assert len(result.reports) == 1
+    return result.reports[0]
+
+
+def codes(report):
+    return sorted({f.code for f in report.findings})
+
+
+# ----------------------------------------------------------------------
+# Planted violations: one fixture per SD rule, each with evidence path
+# ----------------------------------------------------------------------
+def test_sd101_arrival_order_payload():
+    report = analyze("""\
+        import random
+        import time
+
+        class ArrivalSum(RankProgram):
+            def run(self, api):
+                acc = yield api.recv()
+                yield api.send(1, acc)
+        """)
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD101"]
+    msg = report.findings[0].message
+    assert "recv(ANY_SOURCE)" in msg
+    assert "->" in msg  # evidence path, source -> sink
+    assert "api.send payload" in msg
+
+
+def test_sd102_arrival_order_control():
+    report = analyze("""\
+        class OrderBranch(RankProgram):
+            def run(self, api):
+                val = yield api.recv()
+                if val > 0:
+                    yield api.send(1, 1.0)
+        """)
+    assert report.verdict == "VIOLATION"
+    assert "SD102" in codes(report)
+    msg = next(f.message for f in report.findings if f.code == "SD102")
+    assert "dominated by arrival order" in msg
+    assert "recv(ANY_SOURCE)" in msg and "->" in msg
+
+
+def test_sd103_unseeded_rng_destination():
+    report = analyze("""\
+        import random
+
+        class RngDestination(RankProgram):
+            def run(self, api):
+                dst = random.randrange(self.size)
+                yield api.send(dst, 0.0)
+        """)
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD103"]
+    msg = report.findings[0].message
+    assert "unseeded randomness" in msg
+    assert "random.randrange()" in msg and "->" in msg
+
+
+def test_sd104_set_iteration():
+    report = analyze("""\
+        class SetLoop(RankProgram):
+            def run(self, api):
+                for peer in {1, 2, 3}:
+                    yield api.send(peer, 0.5)
+        """)
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD104"]
+    assert "unordered set" in report.findings[0].message
+
+
+def test_sd104_set_stored_in_state():
+    # set-ness tracked through self.state across methods
+    report = analyze("""\
+        class SetIterState(RankProgram):
+            def __init__(self, rank, size):
+                super().__init__(rank, size)
+                self.state["peers"] = {1, 2, 3}
+
+            def run(self, api):
+                for peer in self.state["peers"]:
+                    yield api.send(peer, 0.5)
+        """)
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD104"]
+
+
+def test_sd104_set_stored_on_attribute():
+    report = analyze("""\
+        class AttrSetIter(RankProgram):
+            def __init__(self, rank, size):
+                super().__init__(rank, size)
+                self.peers = set(range(size))
+
+            def run(self, api):
+                for peer in self.peers:
+                    yield api.send(peer, 1.0)
+        """)
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD104"]
+
+
+def test_sd105_wall_clock_payload():
+    report = analyze("""\
+        import time
+
+        class WallClockPayload(RankProgram):
+            def run(self, api):
+                yield api.send(1, time.time())
+        """)
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD105"]
+    msg = report.findings[0].message
+    assert "clock reading" in msg and "time.time()" in msg
+
+
+def test_sd106_address_payload():
+    report = analyze("""\
+        class AddrPayload(RankProgram):
+            def run(self, api):
+                yield api.send(1, id(api))
+        """)
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD106"]
+    assert "id()" in report.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Deterministic shapes must NOT be flagged
+# ----------------------------------------------------------------------
+def test_sorted_combine_is_proven():
+    # the paper's canonical SD pattern: arrival order is erased by a
+    # commutative/sorted combine before anything reaches a send
+    report = analyze("""\
+        class SortedCombine(RankProgram):
+            def run(self, api):
+                if self.rank == 0:
+                    parts = []
+                    for _ in range(self.size - 1):
+                        parts.append((yield api.recv()))
+                    yield api.send(0, sum(sorted(parts)))
+                else:
+                    yield api.send(0, float(self.rank))
+        """)
+    assert report.verdict == "PROVEN_SD"
+    assert report.findings == []
+
+
+def test_list_in_state_is_proven():
+    # lists are ordered: storing one in state must not poison iteration
+    report = analyze("""\
+        class ListIterState(RankProgram):
+            def __init__(self, rank, size):
+                super().__init__(rank, size)
+                self.state["peers"] = [1, 2, 3]
+
+            def run(self, api):
+                for peer in self.state["peers"]:
+                    yield api.send(peer, 0.5)
+        """)
+    assert report.verdict == "PROVEN_SD"
+    assert report.findings == []
+
+
+def test_sorted_set_iteration_is_proven():
+    report = analyze("""\
+        class SortedSetLoop(RankProgram):
+            def run(self, api):
+                for peer in sorted({1, 2, 3}):
+                    yield api.send(peer, 0.5)
+        """)
+    assert report.verdict == "PROVEN_SD"
+
+
+def test_seeded_rng_is_proven():
+    report = analyze("""\
+        import random
+
+        class SeededRng(RankProgram):
+            def run(self, api):
+                rng = random.Random(self.rank)
+                yield api.send((self.rank + 1) % self.size, rng.random())
+        """)
+    assert report.verdict == "PROVEN_SD"
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# noqa: justification required for the SD family
+# ----------------------------------------------------------------------
+def test_justified_noqa_downgrades_to_conditional():
+    report = analyze("""\
+        import time
+
+        class Justified(RankProgram):
+            def run(self, api):
+                yield api.send(1, time.time())  # repro: noqa[SD105]: benchmark timestamp, receiver ignores value
+        """)
+    assert report.verdict == "CONDITIONAL"
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    code, _line, reason = report.suppressed[0]
+    assert code == "SD105"
+    assert "benchmark timestamp" in reason
+
+
+def test_bare_sd_noqa_is_sd100_and_finding_kept():
+    src = HEADER + textwrap.dedent("""\
+        import time
+
+        class Bare(RankProgram):
+            def run(self, api):
+                yield api.send(1, time.time())  # repro: noqa[SD105]
+        """)
+    result = analyze_sources({"fixture.py": src})
+    report = result.reports[0]
+    # the unjustified marker neither suppresses nor certifies
+    assert report.verdict == "VIOLATION"
+    assert codes(report) == ["SD105"]
+    assert [f.code for f in result.noqa_findings] == ["SD100"]
+    assert "justification" in result.noqa_findings[0].message
+
+
+# ----------------------------------------------------------------------
+# The shipped kernels certify clean (no false positives)
+# ----------------------------------------------------------------------
+def test_shipped_kernels_all_certified():
+    result = analyze_paths([APPS])
+    assert not result.errors, result.errors
+    names = {r.name for r in result.reports}
+    assert {"Stencil1D", "Stencil2D", "CGKernel", "LUKernel", "FTKernel",
+            "ISKernel", "MGKernel", "BTKernel", "SPKernel", "ADIKernel",
+            "ReduceTreeKernel", "PingPong"} <= names
+    for report in result.reports:
+        assert report.verdict in ("PROVEN_SD", "CONDITIONAL"), (
+            report.name, report.verdict,
+            [f.message for f in report.findings])
+        assert report.findings == [], (report.name,
+                                       [f.message for f in report.findings])
+    assert result.noqa_findings == []
+
+
+def test_reports_carry_digest_and_valid_verdicts():
+    result = analyze_paths([APPS])
+    for report in result.reports:
+        assert report.verdict in VERDICTS
+        assert len(report.digest) == 32  # blake2b-16 hex
+        assert report.path.endswith(".py")
+        assert report.line > 0
+
+
+def test_digest_tracks_kernel_source():
+    base = """\
+        class Digested(RankProgram):
+            def run(self, api):
+                yield api.send(1, {payload})
+        """
+    a = analyze(base.format(payload="1.0"))
+    b = analyze(base.format(payload="2.0"))
+    assert a.digest != b.digest
+    again = analyze(base.format(payload="1.0"))
+    assert a.digest == again.digest
