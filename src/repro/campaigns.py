@@ -1,0 +1,196 @@
+"""Campaign task functions and task-list builders.
+
+One module, two front-ends: the one-shot CLI commands (``repro table1``,
+``repro sweep``, ``repro chaos``) and the resident campaign service
+(``repro serve`` / ``repro submit``) both build their work from these
+functions, so a campaign computes the same cells whichever door it came
+in through — and the content-addressed result cache addresses them
+identically.
+
+Every task function here is module-level (sweeps pickle them into
+workers) and a pure function of ``(seed, params)``; the code-dependency
+resolvers registered at the bottom tell the cache which kernel classes
+each function's results depend on, wiring the certifier's MRO code
+digests into the cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .analysis import SpeSampler, rollback_analysis
+from .apps import TABLE1_KERNELS, Stencil2D
+from .core import ProtocolConfig, build_ft_world
+from .core.clustering import block_clusters
+from .service.cache import register_code_deps
+
+__all__ = [
+    "failure_scenario",
+    "failure_tasks",
+    "selftest_cell",
+    "selftest_tasks",
+    "table1_cell",
+    "table1_tasks",
+]
+
+
+def _run(nprocs, factory, config):
+    world, controller = build_ft_world(nprocs, factory, config)
+    world.launch()
+    world.run()
+    return world, controller
+
+
+# ----------------------------------------------------------------------
+# Table I grid
+# ----------------------------------------------------------------------
+def table1_cell(params: dict) -> dict:
+    """Compute one Table I cell; module-level so sweeps can pickle it.
+
+    The simulation is fully deterministic — the sweep-injected ``seed``
+    entry is deliberately unused, so a cell's numbers never depend on
+    worker count or scheduling.
+    """
+    name, nprocs, ncl = params["kernel"], params["ranks"], params["clusters"]
+    niters = params["niters"]
+    cls = TABLE1_KERNELS[name]
+    factory = lambda r, s: cls(r, s, niters=niters, compute_time=1e-5)
+    config = ProtocolConfig(
+        checkpoint_interval=6e-5,
+        cluster_of=block_clusters(nprocs, ncl),
+        cluster_stagger=8e-6, rank_stagger=2e-7,
+        lightweight=True, retain_payloads=False,
+    )
+    build_kwargs = {}
+    if params.get("obs") is not None:
+        build_kwargs["obs"] = params["obs"]
+    world, controller = build_ft_world(nprocs, factory, config,
+                                       copy_payloads=False, **build_kwargs)
+    sampler = SpeSampler(controller, interval=7e-5)
+    sampler.arm()
+    world.launch()
+    world.run()
+    if not sampler.snapshots:
+        sampler.take()
+    log = controller.logging_stats()
+    rb = rollback_analysis(sampler.snapshots, nprocs)
+    return {
+        "kernel": name, "ranks": nprocs, "clusters": ncl,
+        "pct_log": 100 * log["log_fraction"], "pct_rollback": rb.percent,
+    }
+
+
+def table1_tasks(kernels: Sequence[str], ranks: Sequence[int],
+                 clusters: Sequence[int], niters: int) -> list:
+    """Task list for the Table I grid, in the table's row order."""
+    from .sweep import SweepTask
+
+    return [
+        SweepTask(
+            name=f"{name}/{nprocs}r/{ncl}cl",
+            params={"kernel": name, "ranks": nprocs, "clusters": ncl,
+                    "niters": niters},
+        )
+        for name in kernels
+        for nprocs in ranks
+        for ncl in clusters
+        if ncl <= nprocs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Randomized failure/recovery runs
+# ----------------------------------------------------------------------
+def failure_scenario(params: dict) -> dict:
+    """One randomized failure/recovery run (module-level for pickling).
+
+    The sweep seed picks the failing rank and failure time; the run then
+    validates recovery against its own failure-free reference and reports
+    rollback/logging statistics.
+    """
+    import random
+
+    nprocs, ncl, niters = params["ranks"], params["clusters"], params["niters"]
+    rng = random.Random(params["seed"])
+    config = ProtocolConfig(checkpoint_interval=3e-5,
+                            cluster_of=block_clusters(nprocs, ncl),
+                            cluster_stagger=5e-6, rank_stagger=1e-6)
+    factory = lambda r, s: Stencil2D(r, s, niters=niters, block=3)
+    ref, _ = _run(nprocs, factory, config)
+    fail_rank = rng.randrange(nprocs)
+    fail_time = rng.uniform(0.2, 0.8) * ref.engine.now
+    build_kwargs = {}
+    if params.get("obs") is not None:
+        build_kwargs["obs"] = params["obs"]
+    world, controller = build_ft_world(nprocs, factory, config, **build_kwargs)
+    controller.inject_failure(fail_time, fail_rank)
+    controller.arm()
+    world.launch()
+    world.run()
+    report = controller.recovery_reports[0]
+    stats = controller.logging_stats()
+    valid = all(
+        np.allclose(ref.programs[r].result(), world.programs[r].result())
+        for r in range(nprocs)
+    ) and ref.tracer.logical_send_sequences() == world.tracer.logical_send_sequences()
+    return {
+        "fail_rank": fail_rank,
+        "fail_time_ms": fail_time * 1e3,
+        "rolled_back": sorted(report.rolled_back),
+        "pct_rolled_back": 100 * len(report.rolled_back) / nprocs,
+        "recovery_rounds": len(controller.recovery_reports),
+        "pct_log": 100 * stats["log_fraction"],
+        "valid": valid,
+    }
+
+
+def failure_tasks(runs: int, ranks: int, clusters: int, niters: int) -> list:
+    from .sweep import SweepTask
+
+    return [
+        SweepTask(name=f"failure-{i:03d}",
+                  params={"ranks": ranks, "clusters": clusters,
+                          "niters": niters})
+        for i in range(runs)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Service self-test (cheap, no simulation — exercises queue/cache/pool)
+# ----------------------------------------------------------------------
+def selftest_cell(params: dict) -> dict:
+    """Trivial pure function of (seed, params) for service smoke tests."""
+    i, seed = params["i"], params["seed"]
+    return {"i": i, "residue": seed % 997, "square": i * i}
+
+
+def selftest_tasks(count: int) -> list:
+    from .sweep import SweepTask
+
+    return [SweepTask(name=f"self-{i:03d}", params={"i": i})
+            for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Cache code-dependency resolvers: which kernel classes feed each task
+# function's results (the cache folds their certifier MRO digests into
+# the key, so editing a kernel invalidates exactly its cached cells).
+# table1_cell needs no explicit entry — the default resolver picks the
+# class up from params["kernel"].
+# ----------------------------------------------------------------------
+register_code_deps(f"{__name__}.failure_scenario", lambda params: (Stencil2D,))
+register_code_deps(f"{__name__}.selftest_cell", lambda params: ())
+
+
+def _chaos_trial_deps(params: dict[str, Any]):
+    """A chaos trial depends on every kernel its schedule may draw."""
+    from .chaos.schedule import KERNELS as CHAOS_KERNELS
+    from .lint.certify import chaos_pool_classes
+
+    pool = params.get("kernels") or sorted(CHAOS_KERNELS)
+    return chaos_pool_classes(tuple(pool))
+
+
+register_code_deps("repro.chaos.trial.run_trial", _chaos_trial_deps)

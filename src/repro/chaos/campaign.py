@@ -148,6 +148,9 @@ def run_campaign(
     check_determinism: bool = True,
     sanitize: bool = True,
     stream: Any = None,
+    cache: Any = None,
+    scheduler: Any = None,
+    service_obs: Any = None,
 ) -> CampaignReport:
     """Run a chaos campaign of ``trials`` seeded trials.
 
@@ -159,7 +162,11 @@ def run_campaign(
     (harness self-test).  Flight-recorder dumps ride on each failing
     trial's record via the sweep's per-task registries.  ``stream`` (a
     :class:`repro.obs.stream.ProgressStream`) emits a live JSONL event
-    per trial plus campaign begin/end markers.
+    per trial plus campaign begin/end markers.  ``cache`` /
+    ``scheduler`` / ``service_obs`` pass straight through to
+    :func:`repro.sweep.run_sweep`: trials are pure functions of
+    ``(campaign_seed, index)``, so the content-addressed cache serves
+    re-submitted campaigns without re-running trials.
     """
     base = {
         "kernels": list(kernels) if kernels else None,
@@ -183,6 +190,7 @@ def run_campaign(
     results = run_sweep(
         run_trial, tasks, workers=workers, base_seed=seed,
         obs=obs, on_progress=on_progress, collect_obs=True,
+        cache=cache, scheduler=scheduler, service_obs=service_obs,
     )
     for result in results:
         _score(report, result, obs)

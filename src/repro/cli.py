@@ -21,7 +21,13 @@ Thin front-end over the library for the common workflows:
   the ``RankProgram`` kernels (SD rules), optional differential
   delivery-order verification (``--dynamic``), and the certification
   registry that ``table1``/``sweep``/``chaos`` consult at campaign
-  start (``--strict-sd`` turns their warnings into refusals).
+  start (``--strict-sd`` turns their warnings into refusals);
+* ``serve`` / ``submit`` — the resident campaign service: an async job
+  queue over a persistent work-stealing worker pool with a
+  content-addressed result cache, and the thin client that submits
+  sweep/table1/chaos campaigns to it (see ``docs/service.md``).
+  The one-shot campaign commands accept ``--cache DIR`` to reuse the
+  same content-addressed cache without a resident service.
 
 The global ``--sanitize`` flag (before the subcommand) enables the
 runtime protocol-invariant sanitizer for the run, equivalent to setting
@@ -42,15 +48,20 @@ from typing import Sequence
 import numpy as np
 
 from .analysis import (
-    SpeSampler,
     collect_matrix,
     expected_rollback_fraction,
     render_matrix,
-    rollback_analysis,
 )
 from .analysis.report import Table1Cell, format_table, format_table1
 from .apps import TABLE1_KERNELS, Stencil2D
 from .baselines import run_domino_analysis
+from .campaigns import (  # noqa: F401 — table1_cell/failure_scenario are
+    _run,  # re-exported: historical import site for pickled task fns
+    failure_scenario,
+    failure_tasks,
+    table1_cell,
+    table1_tasks,
+)
 from .core import ProtocolConfig, build_ft_world
 from .core.clustering import Clustering, block_clusters
 from .lint.certify import (
@@ -72,6 +83,29 @@ def _add_strict_sd_arg(p: argparse.ArgumentParser) -> None:
                         "send-deterministic in the certification registry "
                         f"({DEFAULT_REGISTRY}; see `repro certify`); "
                         "without this flag uncertified kernels only warn")
+
+
+def _add_cache_arg(p: argparse.ArgumentParser) -> None:
+    """Shared result-cache flag (table1 / sweep / chaos)."""
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="content-addressed result cache directory: tasks "
+                        "whose (code digest, seed, params) address is "
+                        "already stored are served from disk, byte-"
+                        "identical to a cold run (see docs/service.md)")
+
+
+def _open_cache(args: argparse.Namespace):
+    if not getattr(args, "cache", None):
+        return None
+    from .service import ResultCache
+
+    return ResultCache(args.cache)
+
+
+def _cache_summary(cache) -> str:
+    s = cache.stats()
+    return (f"cache: hits={s['hits']} misses={s['misses']} "
+            f"stores={s['stores']} unkeyable={s['unkeyable']}")
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -118,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "output identical either way)")
     _add_telemetry_args(t1)
     _add_strict_sd_arg(t1)
+    _add_cache_arg(t1)
 
     sw = sub.add_parser(
         "sweep", help="fan independent scenario runs across worker processes"
@@ -135,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write structured JSON results here")
     _add_telemetry_args(sw)
     _add_strict_sd_arg(sw)
+    _add_cache_arg(sw)
 
     sub.add_parser("fig6", help="ping-pong latency/bandwidth table")
 
@@ -227,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="live JSONL progress stream: one event per "
                             "trial plus campaign begin/end ('-' = stderr)")
     _add_strict_sd_arg(chaos)
+    _add_cache_arg(chaos)
 
     rep = sub.add_parser(
         "report",
@@ -305,6 +342,58 @@ def build_parser() -> argparse.ArgumentParser:
                            f"(default {DEFAULT_REGISTRY}; '-' skips the "
                            "write)")
     cert.add_argument("--format", choices=["text", "json"], default="text")
+
+    srv = sub.add_parser(
+        "serve",
+        help="resident campaign service: async job queue over a "
+             "persistent work-stealing pool with a content-addressed "
+             "result cache (JSONL protocol; see docs/service.md)",
+    )
+    srv.add_argument("--socket", default=None, metavar="PATH",
+                     help="listen on this Unix socket path")
+    srv.add_argument("--host", default=None,
+                     help="listen on TCP host (with --port)")
+    srv.add_argument("--port", type=int, default=None,
+                     help="listen on TCP port (default host 127.0.0.1)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="worker processes in the persistent pool")
+    srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persist the result cache here (default: "
+                          "in-memory only)")
+    srv.add_argument("--no-cache", action="store_true",
+                     help="disable the result cache entirely")
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running `repro serve` instance "
+             "(or query/stop it with --op)",
+    )
+    sbm.add_argument("--connect", required=True, metavar="ADDR",
+                     help="service address: Unix socket path or host:port")
+    sbm.add_argument("--op", choices=["submit", "status", "stats",
+                                      "shutdown"],
+                     default="submit")
+    sbm.add_argument("--job", default=None,
+                     help="job id for --op status")
+    sbm.add_argument("--kind", choices=["sweep", "table1", "chaos",
+                                        "selftest"],
+                     default="sweep", help="campaign kind to submit")
+    sbm.add_argument("--scenario", choices=["failures", "table1"],
+                     default="failures", help="sweep scenario")
+    sbm.add_argument("--kernels", nargs="+", default=None)
+    sbm.add_argument("--ranks", type=int, default=8)
+    sbm.add_argument("--clusters", type=int, default=2)
+    sbm.add_argument("--niters", type=int, default=40)
+    sbm.add_argument("--runs", type=int, default=8,
+                     help="runs (sweep failures) / trials (chaos) / "
+                          "tasks (selftest)")
+    sbm.add_argument("--base-seed", type=int, default=0)
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="enqueue and print the job id without waiting")
+    sbm.add_argument("--out", default=None,
+                     help="write the job's result document (JSON) here")
+    sbm.add_argument("--stats-out", default=None, metavar="PATH",
+                     help="write service cache/scheduler stats JSON here")
     return parser
 
 
@@ -336,66 +425,6 @@ def cmd_demo(args: argparse.Namespace) -> int:
             return 1
     print("validity     : results identical to the failure-free run")
     return 0
-
-
-def _run(nprocs, factory, config):
-    world, controller = build_ft_world(nprocs, factory, config)
-    world.launch()
-    world.run()
-    return world, controller
-
-
-def table1_cell(params: dict) -> dict:
-    """Compute one Table I cell; module-level so sweeps can pickle it.
-
-    The simulation is fully deterministic — the sweep-injected ``seed``
-    entry is deliberately unused, so a cell's numbers never depend on
-    worker count or scheduling.
-    """
-    name, nprocs, ncl = params["kernel"], params["ranks"], params["clusters"]
-    niters = params["niters"]
-    cls = TABLE1_KERNELS[name]
-    factory = lambda r, s: cls(r, s, niters=niters, compute_time=1e-5)
-    config = ProtocolConfig(
-        checkpoint_interval=6e-5,
-        cluster_of=block_clusters(nprocs, ncl),
-        cluster_stagger=8e-6, rank_stagger=2e-7,
-        lightweight=True, retain_payloads=False,
-    )
-    build_kwargs = {}
-    if params.get("obs") is not None:
-        build_kwargs["obs"] = params["obs"]
-    world, controller = build_ft_world(nprocs, factory, config,
-                                       copy_payloads=False, **build_kwargs)
-    sampler = SpeSampler(controller, interval=7e-5)
-    sampler.arm()
-    world.launch()
-    world.run()
-    if not sampler.snapshots:
-        sampler.take()
-    log = controller.logging_stats()
-    rb = rollback_analysis(sampler.snapshots, nprocs)
-    return {
-        "kernel": name, "ranks": nprocs, "clusters": ncl,
-        "pct_log": 100 * log["log_fraction"], "pct_rollback": rb.percent,
-    }
-
-
-def table1_tasks(kernels, ranks, clusters, niters):
-    """Task list for the Table I grid, in the table's row order."""
-    from .sweep import SweepTask
-
-    return [
-        SweepTask(
-            name=f"{name}/{nprocs}r/{ncl}cl",
-            params={"kernel": name, "ranks": nprocs, "clusters": ncl,
-                    "niters": niters},
-        )
-        for name in kernels
-        for nprocs in ranks
-        for ncl in clusters
-        if ncl <= nprocs
-    ]
 
 
 def _obs_summary(registry) -> str:
@@ -471,6 +500,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     if gate:
         return gate
     registry = MetricsRegistry()
+    cache = _open_cache(args)
     tasks = table1_tasks(args.kernels, args.ranks, args.clusters, args.niters)
     stream = ProgressStream.open(args.stream) if args.stream else None
     on_progress = None
@@ -481,7 +511,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     results = run_sweep(table1_cell, tasks, workers=args.workers,
                         obs=registry, collect_obs=True,
                         on_progress=on_progress,
-                        timeseries=args.timeseries)
+                        timeseries=args.timeseries, cache=cache)
     failed = [r for r in results if not r.ok]
     for r in failed:
         print(f"cell {r.name} failed: {r.error}", file=sys.stderr)
@@ -497,6 +527,8 @@ def cmd_table1(args: argparse.Namespace) -> int:
     )
     print(f"theoretical %rl ((p+1)/2p): {theory}")
     print(_obs_summary(registry))
+    if cache is not None:
+        print(_cache_summary(cache), file=sys.stderr)
     if registry.timeseries is not None:
         print(_ts_digest(registry))
         if args.timeseries_out:
@@ -504,57 +536,15 @@ def cmd_table1(args: argparse.Namespace) -> int:
             print(f"timeseries -> {args.timeseries_out}", file=sys.stderr)
     if stream is not None:
         stream.emit("campaign_end", campaign="table1",
-                    ok=not failed, tasks=len(tasks), errors=len(failed))
+                    ok=not failed, tasks=len(tasks), errors=len(failed),
+                    cache=cache.stats() if cache is not None else None)
         stream.close()
     return 1 if failed else 0
 
 
-def failure_scenario(params: dict) -> dict:
-    """One randomized failure/recovery run (module-level for pickling).
-
-    The sweep seed picks the failing rank and failure time; the run then
-    validates recovery against its own failure-free reference and reports
-    rollback/logging statistics.
-    """
-    import random
-
-    nprocs, ncl, niters = params["ranks"], params["clusters"], params["niters"]
-    rng = random.Random(params["seed"])
-    config = ProtocolConfig(checkpoint_interval=3e-5,
-                            cluster_of=block_clusters(nprocs, ncl),
-                            cluster_stagger=5e-6, rank_stagger=1e-6)
-    factory = lambda r, s: Stencil2D(r, s, niters=niters, block=3)
-    ref, _ = _run(nprocs, factory, config)
-    fail_rank = rng.randrange(nprocs)
-    fail_time = rng.uniform(0.2, 0.8) * ref.engine.now
-    build_kwargs = {}
-    if params.get("obs") is not None:
-        build_kwargs["obs"] = params["obs"]
-    world, controller = build_ft_world(nprocs, factory, config, **build_kwargs)
-    controller.inject_failure(fail_time, fail_rank)
-    controller.arm()
-    world.launch()
-    world.run()
-    report = controller.recovery_reports[0]
-    stats = controller.logging_stats()
-    valid = all(
-        np.allclose(ref.programs[r].result(), world.programs[r].result())
-        for r in range(nprocs)
-    ) and ref.tracer.logical_send_sequences() == world.tracer.logical_send_sequences()
-    return {
-        "fail_rank": fail_rank,
-        "fail_time_ms": fail_time * 1e3,
-        "rolled_back": sorted(report.rolled_back),
-        "pct_rolled_back": 100 * len(report.rolled_back) / nprocs,
-        "recovery_rounds": len(controller.recovery_reports),
-        "pct_log": 100 * stats["log_fraction"],
-        "valid": valid,
-    }
-
-
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, ProgressStream, stream_progress
-    from .sweep import SweepTask, run_sweep, save_results
+    from .sweep import run_sweep, save_results
 
     gate = _sd_gate(
         sorted(TABLE1_KERNELS.values(), key=lambda c: c.__name__)
@@ -569,12 +559,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                              niters=max(2, args.niters // 5))
         fn = table1_cell
     else:
-        tasks = [
-            SweepTask(name=f"failure-{i:03d}",
-                      params={"ranks": args.ranks, "clusters": args.clusters,
-                              "niters": args.niters})
-            for i in range(args.runs)
-        ]
+        tasks = failure_tasks(args.runs, args.ranks, args.clusters,
+                              args.niters)
         fn = failure_scenario
 
     done = {"n": 0}
@@ -586,6 +572,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"({result.duration:.2f}s)", file=sys.stderr)
 
     registry = MetricsRegistry()
+    cache = _open_cache(args)
     stream = ProgressStream.open(args.stream) if args.stream else None
     on_progress = progress
     if stream is not None:
@@ -596,8 +583,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     results = run_sweep(fn, tasks, workers=args.workers,
                         base_seed=args.base_seed, on_progress=on_progress,
                         obs=registry, collect_obs=True,
-                        timeseries=args.timeseries)
+                        timeseries=args.timeseries, cache=cache)
     print(_obs_summary(registry), file=sys.stderr)
+    if cache is not None:
+        print(_cache_summary(cache), file=sys.stderr)
     if registry.timeseries is not None:
         print(_ts_digest(registry), file=sys.stderr)
         if args.timeseries_out:
@@ -615,14 +604,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if invalid:
             return 1
     if args.out:
+        extra = {"ranks": args.ranks, "clusters": args.clusters,
+                 "workers": args.workers, "base_seed": args.base_seed}
+        if cache is not None:
+            extra["service"] = {"cache": cache.stats()}
         save_results(args.out, results, sweep_name=args.scenario,
-                     extra={"ranks": args.ranks, "clusters": args.clusters,
-                            "workers": args.workers,
-                            "base_seed": args.base_seed})
+                     extra=extra)
         print(f"results -> {args.out}")
     if stream is not None:
         stream.emit("campaign_end", campaign="sweep", ok=not failed,
-                    tasks=len(tasks), errors=len(failed))
+                    tasks=len(tasks), errors=len(failed),
+                    cache=cache.stats() if cache is not None else None)
         stream.close()
     return 1 if failed else 0
 
@@ -826,18 +818,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         from .obs import ProgressStream
 
         stream = ProgressStream.open(args.stream)
+    cache = _open_cache(args)
     try:
         report = run_campaign(
             args.trials, seed=args.seed, workers=args.workers,
             kernels=kernels, max_failures=args.max_failures,
             allow_no_log=not args.no_domino_axis, bug=args.bug,
             shrink=args.shrink, obs=obs, on_progress=progress,
-            stream=stream,
+            stream=stream, cache=cache,
         )
     finally:
         if stream is not None:
             stream.close()
     print(report.summary())
+    if cache is not None:
+        print(_cache_summary(cache), file=sys.stderr)
     oracle_counter = obs.counter("chaos.oracle", ("name", "passed"))
     for name in ORACLES:
         passed = int(oracle_counter.get((name, True)))
@@ -1022,6 +1017,124 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident campaign service until a `shutdown` op arrives."""
+    from .service import serve
+
+    if not args.socket and args.port is None:
+        print("serve: need --socket PATH or --port N", file=sys.stderr)
+        return 2
+    return serve(
+        socket_path=args.socket,
+        host=args.host or "127.0.0.1",
+        port=args.port if args.port is not None else 7723,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    )
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """Build the campaign spec `repro submit` sends over the wire."""
+    kind = args.kind
+    if kind == "table1":
+        spec: dict = {"kind": "table1", "ranks": [args.ranks],
+                      "clusters": [args.clusters], "niters": args.niters}
+        if args.kernels:
+            spec["kernels"] = list(args.kernels)
+    elif kind == "sweep":
+        spec = {"kind": "sweep", "scenario": args.scenario,
+                "ranks": args.ranks, "clusters": args.clusters,
+                "niters": args.niters, "runs": args.runs,
+                "base_seed": args.base_seed}
+    elif kind == "chaos":
+        spec = {"kind": "chaos", "trials": args.runs,
+                "seed": args.base_seed}
+        if args.kernels:
+            spec["kernels"] = list(args.kernels)
+    else:  # selftest
+        spec = {"kind": "selftest", "tasks": args.runs,
+                "base_seed": args.base_seed}
+    return spec
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Talk to a running service: submit a campaign or query/stop it."""
+    from .errors import ConfigError
+    from .service import ServiceClient
+
+    try:
+        client = ServiceClient(args.connect)
+    except (OSError, ConfigError) as exc:
+        print(f"cannot reach service at {args.connect!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    with client:
+        if args.op == "stats":
+            reply = client.stats()
+            stats = reply.get("stats", {})
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            if args.stats_out:
+                with open(args.stats_out, "w") as fh:
+                    json.dump(stats, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"stats -> {args.stats_out}", file=sys.stderr)
+            return 0 if reply.get("ok") else 1
+        if args.op == "status":
+            reply = client.status(args.job)
+            print(json.dumps({k: v for k, v in reply.items()
+                              if k not in ("done",)},
+                             indent=2, sort_keys=True))
+            return 0 if reply.get("ok") else 1
+        if args.op == "shutdown":
+            reply = client.shutdown()
+            print("service stopping" if reply.get("ok") else
+                  f"shutdown failed: {reply.get('error')}")
+            return 0 if reply.get("ok") else 1
+
+        spec = _submit_spec(args)
+        done = {"n": 0}
+
+        def on_event(event: dict) -> None:
+            if event.get("kind") != "task_done":
+                return
+            done["n"] += 1
+            status = "cached" if event.get("cached") else event.get(
+                "status", "?")
+            print(f"  [{done['n']:3d}] {event.get('name')}: {status}",
+                  file=sys.stderr)
+
+        reply = client.submit(
+            spec, wait=not args.no_wait,
+            include_results=bool(args.out),
+            on_event=None if args.no_wait else on_event,
+        )
+        if args.no_wait:
+            print(reply.get("job", ""))
+            return 0 if reply.get("ok") else 1
+        if not reply.get("ok"):
+            print(f"job failed: {reply.get('error', 'unknown error')}",
+                  file=sys.stderr)
+            return 1
+        summary = reply.get("summary", {})
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump({"job": reply.get("job"), "summary": summary,
+                           "results": reply.get("results"),
+                           "obs": reply.get("obs")},
+                          fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"results -> {args.out}", file=sys.stderr)
+        if args.stats_out:
+            stats = client.stats().get("stats", {})
+            with open(args.stats_out, "w") as fh:
+                json.dump(stats, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"stats -> {args.stats_out}", file=sys.stderr)
+        return 0 if not summary.get("errors") else 1
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "table1": cmd_table1,
@@ -1035,6 +1148,8 @@ _COMMANDS = {
     "report": cmd_report,
     "lint": cmd_lint,
     "certify": cmd_certify,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

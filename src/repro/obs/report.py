@@ -381,6 +381,17 @@ def _sweep_section(doc: dict[str, Any]) -> str:
         + _tile(str(errors), "errors",
                 "✕:critical:failing tasks" if errors else "")
     )
+    # campaigns run against the content-addressed result cache attach
+    # service stats under extra.service (see docs/service.md)
+    service = (doc.get("extra") or {}).get("service") or {}
+    cache = service.get("cache") or {}
+    if cache:
+        hits, misses = int(cache.get("hits", 0)), int(cache.get("misses", 0))
+        tiles += _tile(f"{hits}/{hits + misses}", "cache hits",
+                       "✓:good:fully cached"
+                       if hits and not misses else "")
+    if "steals" in service:
+        tiles += _tile(str(int(service["steals"])), "work steals")
     shown = results[:40]
     items = [
         (

@@ -13,10 +13,13 @@ Event schema (one object per line, keys sorted)::
   ``trials``, ``workers``, ``seed``/``kernels`` when applicable).
 * ``task_done`` — per task/trial: ``index``, ``name``, ``status``
   ("ok"/"error"), ``duration_s``, running ``done``/``total``, ``error``
-  (message, on failure) and optional compact ``metrics`` pulled from the
-  task's obs snapshot.
+  (message, on failure), ``cached: true`` when the result was served
+  from the content-addressed cache, and optional compact ``metrics``
+  pulled from the task's obs snapshot.
 * ``campaign_end`` — final tallies (``ok``, and for chaos the
-  passed/failed/errors split with per-oracle failure counts).
+  passed/failed/errors split with per-oracle failure counts; campaigns
+  running against a result cache attach its hit/miss/store ``cache``
+  stats).
 
 Wall-clock note: ``elapsed_s`` and ``duration_s`` are *operator*
 telemetry — wall seconds since the stream opened / per-task worker wall
@@ -132,6 +135,8 @@ def stream_progress(
         }
         if result.error is not None:
             fields["error"] = result.error
+        if getattr(result, "cached", False):
+            fields["cached"] = True
         value = result.value
         if isinstance(value, dict) and "passed" in value:
             fields["passed"] = bool(value["passed"])

@@ -1,0 +1,47 @@
+"""Always-on campaign service (``repro.service``).
+
+The one-shot sweep executor grown into a resident orchestration layer:
+
+* :mod:`~repro.service.scheduler` — work-stealing workers leasing tasks
+  from per-worker deques over a persistent process pool, with
+  hard-crash detection and retry;
+* :mod:`~repro.service.cache` — content-addressed result cache keyed by
+  blake2b of (code digest, task seed, canonical params);
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
+  asyncio job-queue service (``repro serve``) and its JSONL client
+  (``repro submit``);
+* :mod:`~repro.service.jobs` — campaign specs and the job runner shared
+  by the service and the one-shot CLI.
+
+See ``docs/service.md`` for queue/lease/cache semantics.
+"""
+
+from .cache import (
+    CacheUnkeyable,
+    ResultCache,
+    cache_key,
+    canonical_params,
+    code_digest,
+    register_code_deps,
+)
+from .client import ServiceClient
+from .jobs import CAMPAIGN_KINDS, run_campaign_job, validate_spec
+from .scheduler import SchedulerOutcome, WorkStealingScheduler
+from .server import CampaignService, serve
+
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "CacheUnkeyable",
+    "CampaignService",
+    "ResultCache",
+    "SchedulerOutcome",
+    "ServiceClient",
+    "WorkStealingScheduler",
+    "cache_key",
+    "canonical_params",
+    "code_digest",
+    "register_code_deps",
+    "run_campaign_job",
+    "serve",
+    "validate_spec",
+]

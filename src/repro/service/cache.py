@@ -1,0 +1,301 @@
+"""Content-addressed result cache for sweep/campaign tasks.
+
+Every task the executors run is a *pure function* of ``(code, seed,
+params)``: the simulations are deterministic by construction (that is
+the paper's premise, and the certifier enforces it), and the per-task
+seed from :func:`repro.sweep.task_seed` is itself content-addressed.
+That makes result caching sound: if the code digest, the seed and the
+canonicalized parameters match, the task would produce the same
+:class:`~repro.sweep.SweepResult` — including its observability
+snapshot — so returning the stored one is indistinguishable from
+re-running it.
+
+Cache key
+---------
+``blake2b-128`` over a canonical JSON document::
+
+    {"v": 1, "code": <code digest>, "seed": <task seed>,
+     "params": <canonical params>, "opts": {...execution options...}}
+
+* **code digest** — blake2b over the task function's source plus, for
+  every kernel class the task depends on, the MRO code digest from the
+  send-determinism certifier (:func:`repro.lint.certify.
+  current_kernel_digest`): editing a kernel — or a base class it
+  inherits ``run`` from — invalidates its cached cells.  Task functions
+  declare their kernel dependencies through :func:`register_code_deps`
+  (keyed by qualified name, so registration needs no imports); tasks
+  with a ``params["kernel"]`` naming a Table-1 kernel are resolved
+  automatically.
+* **seed** — the injected per-task seed (which already encodes the
+  campaign base seed, task index and task name).
+* **params** — strict-canonical JSON of the task's params: sorted keys,
+  no whitespace, and *refusing* (rather than papering over) any value
+  that does not round-trip — colliding stringified dict keys or objects
+  that only ``repr()`` (reprs can embed memory addresses, which would
+  make "identical" params hash differently).  Unkeyable tasks simply
+  bypass the cache.
+* **opts** — execution options that change the result's *shape*:
+  ``collect_obs``, the ``timeseries`` interval, and whether the runtime
+  sanitizer is armed (a sanitized run must never satisfy an unsanitized
+  request, or vice versa — the invariant counters differ).
+
+Keys are start-method invariant (pure content hashing, no ``hash()`` /
+``id()``), so a cache written by a fork pool is valid for a spawn pool
+and across hosts — asserted by the fork/spawn invariance test.
+
+Storage
+-------
+In-memory store plus an optional on-disk layer (``<dir>/<k[:2]>/<k>.pkl``,
+atomic ``os.replace`` writes) so a restarted service — or a second CI
+job — keeps its hits.  Entries are pickled ``SweepResult`` objects;
+``get`` unpickles a fresh copy per call, so callers can mutate results
+without corrupting the cache.  Only trust cache directories you wrote:
+unpickling executes code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "CacheUnkeyable",
+    "ResultCache",
+    "cache_key",
+    "canonical_params",
+    "code_digest",
+    "register_code_deps",
+]
+
+#: bump when the key document layout changes
+KEY_SCHEMA_VERSION = 1
+
+
+class CacheUnkeyable(ValueError):
+    """Raised when params cannot be canonicalized unambiguously."""
+
+
+# ----------------------------------------------------------------------
+# Canonical params
+# ----------------------------------------------------------------------
+#: params entries injected by the executor, not part of the task identity
+INJECTED_PARAMS = ("obs", "seed")
+
+
+def canonical_params(params: dict[str, Any]) -> str:
+    """Strict canonical JSON for a task's params.
+
+    Uses the sweep executor's strict ``_jsonable`` mode: stringified
+    dict-key collisions and repr-only objects raise
+    :class:`CacheUnkeyable` instead of producing an ambiguous key.
+    """
+    from ..sweep.executor import _jsonable
+
+    cleaned = {k: v for k, v in params.items() if k not in INJECTED_PARAMS}
+    try:
+        data = _jsonable(cleaned, strict=True)
+    except ValueError as exc:
+        raise CacheUnkeyable(str(exc)) from exc
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Code digest
+# ----------------------------------------------------------------------
+#: "module.qualname" of a task fn -> resolver(params) -> kernel classes
+_DEP_RESOLVERS: dict[str, Callable[[dict[str, Any]], Iterable[type]]] = {}
+
+
+def register_code_deps(
+    qualname: str, resolver: Callable[[dict[str, Any]], Iterable[type]]
+) -> None:
+    """Declare which kernel classes a task function's results depend on.
+
+    ``qualname`` is ``f"{fn.__module__}.{fn.__qualname__}"`` — a string,
+    so registration sites need not import the function's module (and the
+    resolver itself may import lazily)."""
+    _DEP_RESOLVERS[qualname] = resolver
+
+
+def _default_deps(params: dict[str, Any]) -> Iterable[type]:
+    kernel = params.get("kernel")
+    if isinstance(kernel, str):
+        from ..apps import TABLE1_KERNELS
+
+        cls = TABLE1_KERNELS.get(kernel)
+        if cls is not None:
+            return (cls,)
+    return ()
+
+
+def _fn_source(fn: Callable[..., Any]) -> str:
+    import inspect
+
+    try:
+        return inspect.getsource(fn)
+    except (OSError, TypeError):
+        return ""
+
+
+def _kernel_digest(cls: type) -> str:
+    """MRO code digest of a kernel class, with a stable fallback."""
+    from ..lint.certify import current_kernel_digest
+
+    digest = current_kernel_digest(cls)
+    if digest is None:  # no source (REPL class): identity only
+        digest = f"unversioned:{cls.__module__}.{cls.__qualname__}"
+    return digest
+
+
+def code_digest(fn: Callable[..., Any], params: dict[str, Any]) -> str:
+    """Digest of the code a task's result depends on.
+
+    Covers the task function's own source and the certifier MRO digest
+    of every declared kernel dependency.  Helpers the function calls are
+    *not* transitively hashed — ``docs/service.md`` spells out the
+    contract (bump the function, or clear the cache, when shared
+    helpers change semantics)."""
+    qualname = f"{fn.__module__}.{fn.__qualname__}"
+    resolver = _DEP_RESOLVERS.get(qualname, _default_deps)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(qualname.encode())
+    h.update(b"\x00")
+    h.update(_fn_source(fn).encode())
+    for cls in sorted(resolver(params), key=lambda c: c.__qualname__):
+        h.update(b"\x00")
+        h.update(_kernel_digest(cls).encode())
+    return h.hexdigest()
+
+
+def _sanitize_armed() -> bool:
+    from ..lint.sanitize import ENV_VAR
+
+    return os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+def cache_key(
+    fn: Callable[..., Any],
+    params: dict[str, Any],
+    seed: int,
+    collect_obs: bool = False,
+    timeseries: float | None = None,
+) -> str:
+    """The content address of one task execution (raises
+    :class:`CacheUnkeyable` when params cannot be canonicalized)."""
+    doc = {
+        "v": KEY_SCHEMA_VERSION,
+        "code": code_digest(fn, params),
+        "seed": int(seed),
+        "params": canonical_params(params),
+        "opts": {
+            "collect_obs": bool(collect_obs),
+            "timeseries": timeseries,
+            "sanitize": _sanitize_armed(),
+        },
+    }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+class ResultCache:
+    """In-memory + optional on-disk content-addressed result store."""
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._memory: dict[str, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.unkeyable = 0
+        if path:
+            os.makedirs(path, exist_ok=True)
+
+    # -- keys ----------------------------------------------------------
+    def key_for(
+        self,
+        fn: Callable[..., Any],
+        params: dict[str, Any],
+        seed: int,
+        collect_obs: bool = False,
+        timeseries: float | None = None,
+    ) -> str | None:
+        """:func:`cache_key`, or ``None`` (counted) when unkeyable."""
+        try:
+            return cache_key(fn, params, seed,
+                             collect_obs=collect_obs, timeseries=timeseries)
+        except CacheUnkeyable:
+            self.unkeyable += 1
+            return None
+
+    # -- storage -------------------------------------------------------
+    def _file_for(self, key: str) -> str | None:
+        if not self.path:
+            return None
+        return os.path.join(self.path, key[:2], key + ".pkl")
+
+    def get(self, key: str | None) -> Any | None:
+        """A *fresh copy* of the stored result, or ``None`` on miss."""
+        if key is None:
+            self.misses += 1
+            return None
+        blob = self._memory.get(key)
+        if blob is None:
+            fname = self._file_for(key)
+            if fname is not None:
+                try:
+                    with open(fname, "rb") as fh:
+                        blob = fh.read()
+                except OSError:
+                    blob = None
+                if blob is not None:
+                    self._memory[key] = blob
+        if blob is None:
+            self.misses += 1
+            return None
+        try:
+            value = pickle.loads(blob)
+        except Exception:  # corrupt entry: treat as miss  # noqa: BLE001
+            self._memory.pop(key, None)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str | None, result: Any) -> None:
+        if key is None:
+            return
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._memory[key] = blob
+        self.stores += 1
+        fname = self._file_for(key)
+        if fname is None:
+            return
+        os.makedirs(os.path.dirname(fname), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(fname),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, fname)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- reporting -----------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "unkeyable": self.unkeyable,
+            "entries_memory": len(self._memory),
+        }

@@ -1,0 +1,109 @@
+"""Thin synchronous client for the campaign service.
+
+Speaks the JSON-lines protocol of :mod:`repro.service.server` over a
+Unix socket or ``host:port`` TCP.  Used by ``repro submit`` and by
+tests; the whole protocol is "write one request line, read event lines
+until the final object carrying ``done: true``".
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable
+
+from ..errors import ConfigError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a running ``repro serve`` instance.
+
+    ``connect`` is a Unix-socket path (anything containing a path
+    separator, e.g. ``/tmp/repro.sock``) or ``host:port``.
+    """
+
+    def __init__(self, connect: str, timeout: float | None = 300.0):
+        self.spec = connect
+        if "/" in connect or connect.endswith(".sock"):
+            if not hasattr(socket, "AF_UNIX"):
+                raise ConfigError("unix sockets unsupported on this platform")
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(connect)
+        else:
+            host, _, port = connect.rpartition(":")
+            if not port.isdigit():
+                raise ConfigError(
+                    f"connect spec {connect!r} is neither a socket path "
+                    f"nor host:port")
+            sock = socket.create_connection(
+                (host or "127.0.0.1", int(port)), timeout=timeout)
+        self._sock = sock
+        self._fh = sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- protocol ------------------------------------------------------
+    def request(
+        self,
+        op: str,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """Send one request; stream events to ``on_event``; return the
+        final reply object."""
+        payload = {"op": op, **fields}
+        self._fh.write(json.dumps(payload).encode() + b"\n")
+        self._fh.flush()
+        while True:
+            line = self._fh.readline()
+            if not line:
+                raise ConfigError(
+                    f"service at {self.spec!r} closed the connection")
+            reply = json.loads(line)
+            if "event" in reply and "done" not in reply:
+                if on_event is not None:
+                    on_event(reply["event"])
+                continue
+            return reply
+
+    # -- conveniences --------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def submit(
+        self,
+        campaign: dict[str, Any],
+        wait: bool = True,
+        include_results: bool = False,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        return self.request(
+            "submit", campaign=campaign, wait=wait,
+            include_results=include_results,
+            stream=on_event is not None, on_event=on_event,
+        )
+
+    def status(self, job: str | None = None) -> dict[str, Any]:
+        return self.request("status", **({"job": job} if job else {}))
+
+    def result(self, job: str) -> dict[str, Any]:
+        return self.request("result", job=job)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")

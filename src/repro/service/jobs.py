@@ -1,0 +1,204 @@
+"""Campaign specifications and the job runner shared by service + CLI.
+
+A *campaign spec* is a plain JSON mapping — what ``repro submit`` sends
+over the wire and what the service queues.  :func:`run_campaign_job`
+executes one spec synchronously (the server calls it from a worker
+thread) and returns a plain-data job document:
+
+* ``summary`` — tallies plus cache/steal accounting and two content
+  digests (``results_digest``, ``obs_digest``) that let a client assert
+  byte-identity of a warm resubmission against its cold run without
+  shipping the full documents;
+* ``results`` — the same structured document ``repro sweep --out``
+  writes (:func:`repro.sweep.results_document`), or the chaos campaign
+  report for ``kind: chaos``;
+* ``obs`` — the merged simulation registry's metrics export (JSONL).
+  Cache/steal accounting deliberately lands in the *service-level*
+  registry, never this one, so ``obs`` is byte-identical between a cold
+  run and a 100%-hit re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable
+
+from ..errors import ConfigError
+
+__all__ = ["CAMPAIGN_KINDS", "run_campaign_job", "validate_spec"]
+
+CAMPAIGN_KINDS = ("sweep", "table1", "chaos", "selftest")
+
+#: accepted spec fields per kind (beyond "kind"); everything optional
+_SPEC_FIELDS: dict[str, tuple[str, ...]] = {
+    "table1": ("kernels", "ranks", "clusters", "niters", "base_seed",
+               "timeseries"),
+    "sweep": ("scenario", "ranks", "clusters", "niters", "runs",
+              "base_seed", "timeseries"),
+    "chaos": ("trials", "seed", "kernels", "max_failures", "allow_no_log",
+              "shrink"),
+    "selftest": ("tasks", "base_seed"),
+}
+
+
+def _one(value: Any, default: int) -> int:
+    """First element of a possibly-list numeric field."""
+    if value is None:
+        return default
+    if isinstance(value, (list, tuple)):
+        value = value[0] if value else default
+    return int(value)
+
+
+def _many(value: Any, default: list[int]) -> list[int]:
+    if value is None:
+        return list(default)
+    if isinstance(value, (list, tuple)):
+        return [int(v) for v in value]
+    return [int(value)]
+
+
+def validate_spec(spec: dict[str, Any]) -> dict[str, Any]:
+    """Check a campaign spec's shape; returns a normalized copy."""
+    if not isinstance(spec, dict):
+        raise ConfigError("campaign spec must be a JSON object")
+    kind = spec.get("kind")
+    if kind not in CAMPAIGN_KINDS:
+        raise ConfigError(
+            f"unknown campaign kind {kind!r} (have {CAMPAIGN_KINDS})")
+    allowed = set(_SPEC_FIELDS[kind]) | {"kind"}
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"unknown spec field(s) for kind {kind!r}: {', '.join(unknown)}")
+    return dict(spec)
+
+
+def _digest(text: str) -> str:
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def _build_tasks(spec: dict[str, Any]):
+    """(fn, tasks, base_seed, name) for the non-chaos kinds."""
+    from .. import campaigns
+
+    kind = spec["kind"]
+    if kind == "table1":
+        kernels = spec.get("kernels") or ["CG", "FT"]
+        tasks = campaigns.table1_tasks(
+            kernels, _many(spec.get("ranks"), [16]),
+            _many(spec.get("clusters"), [4]), _one(spec.get("niters"), 8))
+        return campaigns.table1_cell, tasks, _one(spec.get("base_seed"), 0)
+    if kind == "sweep":
+        scenario = spec.get("scenario", "failures")
+        if scenario == "table1":
+            from ..apps import TABLE1_KERNELS
+
+            niters = max(2, _one(spec.get("niters"), 40) // 5)
+            tasks = campaigns.table1_tasks(
+                sorted(TABLE1_KERNELS), [_one(spec.get("ranks"), 8)],
+                [_one(spec.get("clusters"), 2)], niters)
+            return campaigns.table1_cell, tasks, _one(spec.get("base_seed"), 0)
+        if scenario != "failures":
+            raise ConfigError(f"unknown sweep scenario {scenario!r}")
+        tasks = campaigns.failure_tasks(
+            _one(spec.get("runs"), 8), _one(spec.get("ranks"), 8),
+            _one(spec.get("clusters"), 2), _one(spec.get("niters"), 40))
+        return campaigns.failure_scenario, tasks, _one(spec.get("base_seed"), 0)
+    # selftest
+    tasks = campaigns.selftest_tasks(_one(spec.get("tasks"), 8))
+    return campaigns.selftest_cell, tasks, _one(spec.get("base_seed"), 0)
+
+
+def run_campaign_job(
+    spec: dict[str, Any],
+    workers: int = 1,
+    cache: Any = None,
+    scheduler: Any = None,
+    service_obs: Any = None,
+    on_event: Callable[[dict[str, Any]], None] | None = None,
+    collect_obs: bool = True,
+) -> dict[str, Any]:
+    """Execute one campaign spec; returns the job document.
+
+    Runs synchronously (the asyncio server offloads it to a thread).
+    ``scheduler`` is the resident work-stealing pool to reuse;
+    ``service_obs`` the service-lifetime accounting registry.
+    """
+    from ..obs import MetricsRegistry, dump_metrics
+
+    spec = validate_spec(spec)
+    kind = spec["kind"]
+    registry = MetricsRegistry(
+        timeseries_interval=spec.get("timeseries"))
+    cache_before = cache.stats() if cache is not None else None
+
+    def emit(event: dict[str, Any]) -> None:
+        if on_event is not None:
+            on_event(event)
+
+    def on_progress(result: Any) -> None:
+        emit({
+            "kind": "task_done", "index": result.index, "name": result.name,
+            "status": result.status, "cached": bool(result.cached),
+            "duration_s": round(result.duration, 6),
+        })
+
+    if kind == "chaos":
+        from ..chaos import run_campaign
+
+        report = run_campaign(
+            _one(spec.get("trials"), 50), seed=_one(spec.get("seed"), 0),
+            workers=workers,
+            kernels=tuple(spec["kernels"]) if spec.get("kernels") else None,
+            max_failures=_one(spec.get("max_failures"), 4),
+            allow_no_log=bool(spec.get("allow_no_log", True)),
+            shrink=_one(spec.get("shrink"), 0),
+            obs=registry, on_progress=on_progress,
+            cache=cache, scheduler=scheduler, service_obs=service_obs,
+        )
+        results_doc: dict[str, Any] = report.to_json()
+        tasks = report.trials
+        ok = report.passed
+        errors = report.failed + report.errors
+    else:
+        from ..sweep import results_document, run_sweep
+
+        fn, tasks_list, base_seed = _build_tasks(spec)
+        results = run_sweep(
+            fn, tasks_list, workers=workers, base_seed=base_seed,
+            obs=registry, collect_obs=collect_obs,
+            timeseries=spec.get("timeseries"),
+            on_progress=on_progress, cache=cache, scheduler=scheduler,
+            service_obs=service_obs,
+        )
+        results_doc = results_document(results, sweep_name=kind)
+        tasks = len(results)
+        ok = sum(1 for r in results if r.ok)
+        errors = tasks - ok
+
+    obs_export = dump_metrics(registry, "jsonl")
+    cache_stats = None
+    if cache is not None:
+        after = cache.stats()
+        cache_stats = {k: after[k] - cache_before.get(k, 0)
+                       for k in ("hits", "misses", "stores", "unkeyable")}
+    steals = leases = 0
+    if service_obs is not None and getattr(service_obs, "enabled", False):
+        steals = int(service_obs.counter("service.steals").get())
+        leases = int(service_obs.counter("service.leases").get())
+    results_json = json.dumps(results_doc, sort_keys=True,
+                              separators=(",", ":"))
+    summary = {
+        "campaign": kind,
+        "tasks": tasks,
+        "ok": ok,
+        "errors": errors,
+        "cache": cache_stats,
+        "steals_total": steals,
+        "leases_total": leases,
+        "results_digest": _digest(results_json),
+        "obs_digest": _digest(obs_export),
+    }
+    return {"summary": summary, "results": results_doc, "obs": obs_export}

@@ -14,16 +14,22 @@ that never imported this module, which is what lets the CLI bolt
 """
 
 from .executor import (
+    MP_START_METHOD,
     SweepResult,
     SweepTask,
+    mp_context,
+    results_document,
     run_sweep,
     save_results,
     task_seed,
 )
 
 __all__ = [
+    "MP_START_METHOD",
     "SweepResult",
     "SweepTask",
+    "mp_context",
+    "results_document",
     "run_sweep",
     "save_results",
     "task_seed",

@@ -13,12 +13,30 @@ with :func:`task_seed`, which uses a keyed blake2b digest — stable across
 processes and interpreter invocations (unlike ``hash()``, which is salted
 per process).  Tasks that need randomness must take it from this seed.
 
+The multiprocessing start method is pinned explicitly
+(:data:`MP_START_METHOD`): results and worker-global state must never
+depend on the *platform default* silently flipping between ``fork`` and
+``spawn``.  The pin prefers ``fork`` where available (cheap workers) and
+is overridable with ``REPRO_MP_START_METHOD``; the cache-key path is
+asserted fork/spawn-invariant by the service tests.
+
 Crash isolation
 ---------------
 The task function runs inside a try/except *in the worker*; an exception
 produces a ``status="error"`` :class:`SweepResult` carrying the formatted
-traceback while the rest of the sweep proceeds.  The sweep as a whole only
-fails if the pool infrastructure itself dies.
+traceback while the rest of the sweep proceeds.  A worker that dies
+*without* returning (``os._exit``, OOM kill, segfault) is detected by the
+work-stealing scheduler, retried once in a fresh pool, and — if it
+crashes again — reported by raising ``RuntimeError: sweep lost results
+for task indices [...]`` after the surviving tasks complete.
+
+Result caching
+--------------
+``run_sweep(..., cache=ResultCache(...))`` consults the content-addressed
+result cache (:mod:`repro.service.cache`) before executing: tasks are
+pure functions of (code, seed, params), so a hit returns the stored
+:class:`SweepResult` — byte-identical value, duration and obs snapshot —
+and the merged registry/exports are indistinguishable from a cold run.
 """
 
 from __future__ import annotations
@@ -26,12 +44,47 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["SweepTask", "SweepResult", "run_sweep", "save_results", "task_seed"]
+__all__ = [
+    "MP_START_METHOD",
+    "SweepTask",
+    "SweepResult",
+    "mp_context",
+    "results_document",
+    "run_sweep",
+    "save_results",
+    "task_seed",
+]
+
+
+def _pinned_start_method() -> str:
+    """Explicit multiprocessing start method for every pool in the repo.
+
+    ``fork`` where the platform offers it (cheap workers, shared imports),
+    ``spawn`` otherwise — chosen *here*, once, rather than inherited from
+    ``multiprocessing``'s platform default, so a Python upgrade flipping
+    the default cannot silently change worker-global state semantics.
+    ``REPRO_MP_START_METHOD`` overrides (e.g. the campaign service passes
+    ``forkserver``/``spawn``, which are safe to use from threads).
+    """
+    override = os.environ.get("REPRO_MP_START_METHOD")
+    if override:
+        return override
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"
+
+
+MP_START_METHOD: str = _pinned_start_method()
+
+
+def mp_context(method: str | None = None):
+    """The pinned multiprocessing context (never the platform default)."""
+    return multiprocessing.get_context(method or MP_START_METHOD)
 
 
 def task_seed(base_seed: int, index: int, name: str) -> int:
@@ -83,6 +136,12 @@ class SweepResult:
     #: crosses the process boundary; merged by run_sweep, not serialised
     #: into to_json)
     obs: dict[str, Any] | None = None
+    #: True when this result was served by the content-addressed cache.
+    #: Deliberately *not* serialised by to_json: a warm run's exported
+    #: documents must be byte-identical to the cold run that filled the
+    #: cache (the duration carried here is the cold run's, for the same
+    #: reason).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -105,18 +164,47 @@ class SweepResult:
         return out
 
 
-def _jsonable(value: Any) -> Any:
-    """Best-effort conversion to JSON-serialisable data (lossy fallback)."""
+def _jsonable(value: Any, strict: bool = False) -> Any:
+    """Conversion to JSON-serialisable data.
+
+    Dict keys are stringified; two keys that stringify identically (``1``
+    and ``"1"``, ``None`` and ``"None"``) used to silently merge with
+    last-writer-wins.  Now the collision is *detected*: the first key
+    keeps the plain form and later colliders are disambiguated with a
+    ``#<typename>`` (then ``.2``, ``.3`` …) suffix — deterministically,
+    since dict iteration order is insertion order.  ``strict=True``
+    raises instead (cache keys must refuse ambiguity), and also rejects
+    the lossy ``repr()`` fallback for unknown objects (reprs can embed
+    memory addresses).
+    """
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        out: dict[str, Any] = {}
+        for k, v in value.items():
+            s = str(k)
+            if s in out:
+                if strict:
+                    raise ValueError(
+                        f"dict keys collide after stringification: {k!r} "
+                        f"also maps to {s!r}")
+                base = f"{s}#{type(k).__name__}"
+                s, n = base, 2
+                while s in out:
+                    s = f"{base}.{n}"
+                    n += 1
+            out[s] = _jsonable(v, strict=strict)
+        return out
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [_jsonable(v, strict=strict) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if hasattr(value, "to_json"):
-        return _jsonable(value.to_json())
+        return _jsonable(value.to_json(), strict=strict)
     if hasattr(value, "_asdict"):
-        return _jsonable(value._asdict())
+        return _jsonable(value._asdict(), strict=strict)
+    if strict:
+        raise ValueError(
+            f"cannot canonicalize {type(value).__name__!r} value "
+            f"(repr fallback is not content-stable)")
     return repr(value)
 
 
@@ -180,6 +268,10 @@ def run_sweep(
     on_progress: Callable[[SweepResult], None] | None = None,
     collect_obs: bool = False,
     timeseries: float | None = None,
+    cache: Any = None,
+    scheduler: Any = None,
+    mp_method: str | None = None,
+    service_obs: Any = None,
 ) -> list[SweepResult]:
     """Run every task through ``fn``; returns results in task order.
 
@@ -192,14 +284,14 @@ def run_sweep(
     workers:
         ``<= 1`` runs inline in this process — bit-identical to a plain
         loop, no multiprocessing machinery touched.  Higher values fan out
-        over a process pool (capped at the task count).
+        over the work-stealing scheduler (capped at the task count).
     obs:
         Optional :class:`repro.obs.MetricsRegistry`; progress lands in the
         ``sweep.*`` counters and an event per completed task.
     on_progress:
-        Callback invoked in the parent with each completed result
-        (completion order, which under parallel execution is not task
-        order).
+        Callback invoked in the parent with each completed result (cache
+        hits first in task order, then executed tasks in completion
+        order, which under parallel execution is not task order).
     collect_obs:
         Give every task a private registry via ``params["obs"]`` and ship
         its snapshot back on the result.  When ``obs`` is also given, the
@@ -210,10 +302,31 @@ def run_sweep(
         virtual-time series at this interval (virtual seconds); series
         merge into ``obs`` in task order, byte-identical for any worker
         count.
+    cache:
+        Optional :class:`repro.service.ResultCache`.  Tasks whose content
+        address is already stored return the cached result (marked
+        ``cached=True``); misses execute and are stored.
+    scheduler:
+        Optional :class:`repro.service.WorkStealingScheduler` to reuse (a
+        resident service keeps one pool across jobs).  When given, its
+        worker count wins over ``workers``.
+    mp_method:
+        Explicit multiprocessing start method for a scheduler created by
+        this call (default: the pinned :data:`MP_START_METHOD`).
+    service_obs:
+        Registry for *service accounting*: ``service.cache`` hit/miss and
+        ``service.leases``/``service.steals``/``service.tasks_lost``
+        counters.  Kept separate from ``obs`` so the merged simulation
+        registry exports stay byte-identical between a cold run and a
+        cache-warm re-run (hit/miss tallies necessarily differ between
+        the two).  ``None`` disables accounting counters (cache objects
+        still tally their own :meth:`stats`).
     """
     tasks = list(tasks)
     seeds = [task_seed(base_seed, i, t.name) for i, t in enumerate(tasks)]
     obs = obs if (obs is not None and getattr(obs, "enabled", False)) else None
+    acct = service_obs if (service_obs is not None
+                           and getattr(service_obs, "enabled", False)) else None
 
     def _note(result: SweepResult) -> None:
         if obs is not None:
@@ -236,33 +349,104 @@ def run_sweep(
             if result.obs:
                 obs.merge(result.obs)
 
-    if workers <= 1 or len(tasks) <= 1:
-        results = []
-        for i, task in enumerate(tasks):
-            result = _execute(fn, task, i, seeds[i], collect_obs, timeseries)
-            _note(result)
-            results.append(result)
-        _merge_worker_obs(results)
-        return results
-
-    nworkers = min(workers, len(tasks))
-    payloads = [
-        (fn, t, i, seeds[i], collect_obs, timeseries)
-        for i, t in enumerate(tasks)
-    ]
     results_by_index: list[SweepResult | None] = [None] * len(tasks)
-    ctx = multiprocessing.get_context()
-    with ctx.Pool(processes=nworkers) as pool:
-        # unordered: progress reporting tracks actual completion; the
-        # index carried by each result restores task order afterwards
-        for result in pool.imap_unordered(_worker, payloads):
-            results_by_index[result.index] = result
+    keys: list[str | None] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+
+    # --- cache probe: hits short-circuit, in task order ---------------
+    if cache is not None:
+        cache_counter = (acct.counter("service.cache", ("outcome",))
+                         if acct is not None else None)
+        pending = []
+        for i, task in enumerate(tasks):
+            keys[i] = cache.key_for(fn, task.params, seeds[i],
+                                    collect_obs=collect_obs,
+                                    timeseries=timeseries)
+            hit = cache.get(keys[i]) if keys[i] is not None else None
+            if hit is not None:
+                hit.index, hit.name, hit.cached = i, task.name, True
+                results_by_index[i] = hit
+                if cache_counter is not None:
+                    cache_counter.inc(labels=("hit",))
+                _note(hit)
+            else:
+                pending.append(i)
+                if cache_counter is not None:
+                    cache_counter.inc(labels=("miss",))
+
+    def _store(result: SweepResult) -> None:
+        if cache is not None and keys[result.index] is not None:
+            cache.put(keys[result.index], result)
+
+    # --- execute the misses -------------------------------------------
+    nworkers = scheduler.workers if scheduler is not None else workers
+    if pending and (nworkers <= 1 or len(pending) <= 1):
+        for i in pending:
+            result = _execute(fn, tasks[i], i, seeds[i], collect_obs,
+                              timeseries)
+            results_by_index[i] = result
+            _store(result)
             _note(result)
+    elif pending:
+        from ..service.scheduler import WorkStealingScheduler
+
+        payloads = [
+            (i, (fn, tasks[i], i, seeds[i], collect_obs, timeseries))
+            for i in pending
+        ]
+
+        def on_result(result: SweepResult) -> None:
+            results_by_index[result.index] = result
+            _store(result)
+            _note(result)
+
+        own = scheduler is None
+        sched = scheduler if scheduler is not None else WorkStealingScheduler(
+            min(workers, len(pending)), mp_method=mp_method, obs=acct)
+        if scheduler is not None and sched.obs is None:
+            sched.obs = acct
+        try:
+            outcome = sched.run(_worker, payloads, on_result=on_result)
+        finally:
+            if own:
+                sched.close()
+        if outcome.lost:  # a worker died twice without returning
+            raise RuntimeError(
+                f"sweep lost results for task indices {outcome.lost}")
+
     missing = [i for i, r in enumerate(results_by_index) if r is None]
-    if missing:  # a worker died without returning (hard crash)
+    if missing:  # defensive: the scheduler already accounts for losses
         raise RuntimeError(f"sweep lost results for task indices {missing}")
     _merge_worker_obs(results_by_index)  # type: ignore[arg-type]
     return results_by_index  # type: ignore[return-value]
+
+
+#: top-level keys of a results document; extras live under "extra"
+RESERVED_DOCUMENT_KEYS = frozenset(
+    {"sweep", "tasks", "ok", "errors", "results", "extra"})
+
+
+def results_document(
+    results: Sequence[SweepResult],
+    sweep_name: str = "sweep",
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A sweep's results as one structured JSON-ready document.
+
+    ``extra`` entries are nested under the document's ``"extra"`` key —
+    they used to be merged into the top level, where a key like
+    ``"results"`` or ``"ok"`` would silently clobber the document's own
+    fields."""
+    doc: dict[str, Any] = {
+        "sweep": sweep_name,
+        "tasks": len(results),
+        "ok": sum(1 for r in results if r.ok),
+        "errors": sum(1 for r in results if not r.ok),
+        "results": [r.to_json() for r in results],
+    }
+    if extra:
+        doc["extra"] = _jsonable(extra)
+    return doc
 
 
 def save_results(
@@ -272,15 +456,7 @@ def save_results(
     extra: dict[str, Any] | None = None,
 ) -> None:
     """Write a sweep's results as one structured JSON document."""
-    doc = {
-        "sweep": sweep_name,
-        "tasks": len(results),
-        "ok": sum(1 for r in results if r.ok),
-        "errors": sum(1 for r in results if not r.ok),
-        "results": [r.to_json() for r in results],
-    }
-    if extra:
-        doc.update(_jsonable(extra))
     with open(path, "w") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=False)
+        json.dump(results_document(results, sweep_name, extra), fh,
+                  indent=1, sort_keys=False)
         fh.write("\n")

@@ -1,0 +1,152 @@
+"""Content-addressed result cache: keys, invalidation, storage."""
+
+import pickle
+
+import pytest
+
+from repro.campaigns import selftest_cell, table1_cell
+from repro.service import CacheUnkeyable, ResultCache, cache_key, canonical_params
+from repro.sweep import SweepResult
+from repro.sweep.executor import mp_context
+
+
+# ----------------------------------------------------------------------
+# canonical params
+# ----------------------------------------------------------------------
+
+def test_canonical_params_sorted_and_compact():
+    assert canonical_params({"b": 2, "a": [1, None]}) == '{"a":[1,null],"b":2}'
+
+
+def test_canonical_params_excludes_injected_entries():
+    """``seed`` and ``obs`` are injected by the executor — the seed is a
+    separate key component, and the registry is per-run machinery."""
+    a = canonical_params({"x": 1})
+    b = canonical_params({"x": 1, "seed": 42, "obs": object()})
+    assert a == b
+
+
+def test_canonical_params_refuses_ambiguity():
+    with pytest.raises(CacheUnkeyable):
+        canonical_params({1: "a", "1": "b"})  # colliding stringified keys
+    with pytest.raises(CacheUnkeyable):
+        canonical_params({"x": object()})  # repr() is not content-stable
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+
+def test_cache_key_sensitive_to_every_component():
+    base = cache_key(selftest_cell, {"i": 1}, seed=7)
+    assert cache_key(selftest_cell, {"i": 1}, seed=7) == base  # stable
+    assert cache_key(selftest_cell, {"i": 2}, seed=7) != base
+    assert cache_key(selftest_cell, {"i": 1}, seed=8) != base
+    assert cache_key(selftest_cell, {"i": 1}, seed=7,
+                     collect_obs=True) != base
+    assert cache_key(selftest_cell, {"i": 1}, seed=7,
+                     timeseries=0.5) != base
+    assert cache_key(table1_cell, {"i": 1}, seed=7) != base  # code digest
+
+
+def test_cache_key_sensitive_to_sanitizer_arming(monkeypatch):
+    from repro.lint.sanitize import ENV_VAR
+
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    off = cache_key(selftest_cell, {"i": 1}, seed=7)
+    monkeypatch.setenv(ENV_VAR, "1")
+    on = cache_key(selftest_cell, {"i": 1}, seed=7)
+    assert on != off
+
+
+def test_cache_key_covers_kernel_dependency():
+    """``table1_cell`` results depend on the named kernel class: different
+    kernels must address differently even with otherwise equal params."""
+    cg = cache_key(table1_cell, {"kernel": "CG", "ranks": 8}, seed=1)
+    ft = cache_key(table1_cell, {"kernel": "FT", "ranks": 8}, seed=1)
+    assert cg != ft
+
+
+def _spawned_key(_):
+    # runs in a child process: same inputs must address identically
+    return cache_key(selftest_cell, {"i": 3, "w": [1, 2]}, seed=99,
+                     collect_obs=True)
+
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+def test_cache_key_is_start_method_invariant(method):
+    """Pure content hashing: a cache filled by a fork pool must serve a
+    spawn pool (and vice versa), so keys computed in fork/spawn children
+    and in the parent all agree."""
+    import multiprocessing
+
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {method} unavailable")
+    parent = _spawned_key(None)
+    ctx = mp_context(method)
+    with ctx.Pool(1) as pool:
+        child = pool.map(_spawned_key, [None])[0]
+    assert child == parent
+
+
+# ----------------------------------------------------------------------
+# storage
+# ----------------------------------------------------------------------
+
+def _result(value):
+    return SweepResult(index=0, name="t", status="ok", value=value,
+                       duration=0.25, seed=1)
+
+
+def test_memory_round_trip_returns_fresh_copies():
+    cache = ResultCache()
+    key = cache_key(selftest_cell, {"i": 0}, seed=0)
+    assert cache.get(key) is None  # cold
+    cache.put(key, _result({"a": [1, 2]}))
+    first = cache.get(key)
+    first.value["a"].append(3)  # caller mutation must not corrupt store
+    second = cache.get(key)
+    assert second.value == {"a": [1, 2]}
+    assert cache.stats()["hits"] == 2
+    assert cache.stats()["misses"] == 1
+
+
+def test_disk_round_trip_survives_new_instance(tmp_path):
+    key = cache_key(selftest_cell, {"i": 5}, seed=5)
+    writer = ResultCache(str(tmp_path / "cache"))
+    writer.put(key, _result(123))
+    reader = ResultCache(str(tmp_path / "cache"))  # fresh process stand-in
+    hit = reader.get(key)
+    assert hit is not None and hit.value == 123 and hit.duration == 0.25
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    key = cache_key(selftest_cell, {"i": 6}, seed=6)
+    cache = ResultCache(str(tmp_path / "cache"))
+    cache.put(key, _result(1))
+    cache._memory.clear()
+    path = cache._file_for(key)
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    assert cache.get(key) is None
+    assert cache.stats()["misses"] == 1
+
+
+def test_unkeyable_tasks_bypass_cache():
+    cache = ResultCache()
+    key = cache.key_for(selftest_cell, {"x": object()}, seed=0)
+    assert key is None
+    assert cache.stats()["unkeyable"] == 1
+    assert cache.get(None) is None  # counted as a miss, never a crash
+    cache.put(None, _result(1))  # no-op
+    assert cache.stats()["stores"] == 0
+
+
+def test_stored_entries_are_pickled_blobs():
+    """Entries are stored serialized, not as live objects — the disk and
+    memory layers share one representation."""
+    cache = ResultCache()
+    key = cache_key(selftest_cell, {"i": 9}, seed=9)
+    cache.put(key, _result(9))
+    assert isinstance(cache._memory[key], bytes)
+    assert pickle.loads(cache._memory[key]).value == 9

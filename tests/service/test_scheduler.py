@@ -1,0 +1,110 @@
+"""Work-stealing scheduler: leases, steals, hard-crash recovery."""
+
+import os
+import time
+
+from repro.obs import MetricsRegistry
+from repro.service import WorkStealingScheduler
+
+
+# Worker functions must live at module level so they pickle into workers.
+
+def double(payload):
+    return payload * 2
+
+
+def slow_zero(payload):
+    if payload == 0:
+        time.sleep(0.5)
+    return payload
+
+
+def crash_on_boom(payload):
+    if payload == "boom":
+        time.sleep(0.3)  # let innocent tasks drain first
+        os._exit(1)  # hard death: no exception crosses the pipe
+    return payload
+
+
+def crash_once(payload):
+    """Crashes the pool on first sight of its flag file's absence, then
+    succeeds — models an innocent task caught in a dying pool."""
+    path, value = payload
+    if not os.path.exists(path):
+        with open(path, "w"):
+            pass
+        os._exit(1)
+    return value
+
+
+def _payloads(values):
+    return list(enumerate(values))
+
+
+def test_all_tasks_complete_in_results_map():
+    with WorkStealingScheduler(2) as sched:
+        outcome = sched.run(double, _payloads(range(7)))
+    assert outcome.results == {i: 2 * i for i in range(7)}
+    assert outcome.lost == []
+    assert outcome.leases == 7
+
+
+def test_empty_run():
+    with WorkStealingScheduler(3) as sched:
+        outcome = sched.run(double, [])
+    assert outcome.results == {} and outcome.leases == 0
+
+
+def test_on_result_fires_per_completion():
+    seen = []
+    with WorkStealingScheduler(2) as sched:
+        sched.run(double, _payloads(range(5)), on_result=seen.append)
+    assert sorted(seen) == [0, 2, 4, 6, 8]
+
+
+def test_idle_worker_steals_from_busy_victim():
+    """Slot 0's first task sleeps; slot 1 drains its own deque and then
+    steals slot 0's tail instead of idling behind the block split."""
+    obs = MetricsRegistry()
+    with WorkStealingScheduler(2, obs=obs) as sched:
+        outcome = sched.run(slow_zero, _payloads(range(6)))
+    assert outcome.results == {i: i for i in range(6)}
+    assert outcome.steals >= 1
+    assert obs.counter("service.steals").get() == outcome.steals
+    assert obs.counter("service.leases").get() == outcome.leases == 6
+
+
+def test_hard_crash_loses_only_the_culprit():
+    """A worker dying without returning breaks the pool; the scheduler
+    rebuilds it, retries, and after the deterministic second death
+    reports exactly the culprit as lost — innocents all complete."""
+    values = ["a", "b", "boom", "c", "d"]
+    obs = MetricsRegistry()
+    with WorkStealingScheduler(2, obs=obs) as sched:
+        outcome = sched.run(crash_on_boom, _payloads(values))
+    assert outcome.lost == [2]
+    assert outcome.rebuilds >= 1
+    assert {i: v for i, v in enumerate(values) if v != "boom"} \
+        == outcome.results
+    assert obs.counter("service.tasks_lost").get() == 1
+
+
+def test_crash_once_task_recovers_on_retry(tmp_path):
+    flag = str(tmp_path / "crashed-once")
+    with WorkStealingScheduler(1) as sched:
+        outcome = sched.run(crash_once, [(0, (flag, "recovered"))])
+    assert outcome.results == {0: "recovered"}
+    assert outcome.lost == []
+    assert outcome.rebuilds == 1
+
+
+def test_scheduler_reusable_across_runs():
+    """The campaign service keeps one scheduler alive across jobs; the
+    pool must survive consecutive runs (and a crash in between)."""
+    with WorkStealingScheduler(2) as sched:
+        first = sched.run(double, _payloads(range(3)))
+        crash = sched.run(crash_on_boom, _payloads(["x", "boom"]))
+        second = sched.run(double, _payloads(range(4)))
+    assert first.results == {0: 0, 1: 2, 2: 4}
+    assert crash.lost == [1] and crash.results == {0: "x"}
+    assert second.results == {i: 2 * i for i in range(4)}

@@ -1,0 +1,185 @@
+"""Campaign service end-to-end: job queue, wire protocol, cache reuse."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import (
+    CampaignService,
+    ResultCache,
+    ServiceClient,
+    run_campaign_job,
+    validate_spec,
+)
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+
+def test_validate_spec_rejects_unknown_kind_and_fields():
+    with pytest.raises(ConfigError, match="unknown campaign kind"):
+        validate_spec({"kind": "nope"})
+    with pytest.raises(ConfigError, match="unknown spec field"):
+        validate_spec({"kind": "selftest", "bogus": 1})
+    assert validate_spec({"kind": "selftest", "tasks": 3})["tasks"] == 3
+
+
+# ----------------------------------------------------------------------
+# job runner (no server)
+# ----------------------------------------------------------------------
+
+def test_run_campaign_job_selftest_summary_and_digests():
+    cache = ResultCache()
+    events = []
+    cold = run_campaign_job({"kind": "selftest", "tasks": 4}, workers=1,
+                            cache=cache, on_event=events.append)
+    assert cold["summary"]["tasks"] == 4
+    assert cold["summary"]["ok"] == 4 and cold["summary"]["errors"] == 0
+    assert cold["summary"]["cache"] == {"hits": 0, "misses": 4,
+                                        "stores": 4, "unkeyable": 0}
+    assert [e["index"] for e in events] == [0, 1, 2, 3]
+    assert not any(e["cached"] for e in events)
+
+    events.clear()
+    warm = run_campaign_job({"kind": "selftest", "tasks": 4}, workers=1,
+                            cache=cache, on_event=events.append)
+    assert warm["summary"]["cache"] == {"hits": 4, "misses": 0,
+                                        "stores": 0, "unkeyable": 0}
+    assert all(e["cached"] for e in events)
+    # byte-identity, asserted through the content digests and documents
+    assert warm["summary"]["results_digest"] == \
+        cold["summary"]["results_digest"]
+    assert warm["summary"]["obs_digest"] == cold["summary"]["obs_digest"]
+    assert warm["results"] == cold["results"]
+    assert warm["obs"] == cold["obs"]
+
+
+# ----------------------------------------------------------------------
+# resident service over a unix socket
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def service(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    holder = {}
+    ready = threading.Event()
+
+    def runner():
+        # the service object owns asyncio primitives, so it must be
+        # created on the loop thread
+        svc = CampaignService(workers=1, cache=ResultCache())
+        holder["svc"] = svc
+        asyncio.run(svc.serve(socket_path=sock, ready=ready))
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(15), "service did not come up"
+    yield sock
+    try:
+        with ServiceClient(sock, timeout=15) as client:
+            client.shutdown()
+    except (OSError, ConfigError):
+        pass  # already stopped by the test
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def test_ping_and_stats(service):
+    with ServiceClient(service, timeout=30) as client:
+        assert client.ping()
+        stats = client.stats()["stats"]
+    assert stats["workers"] == 1
+    assert stats["jobs"]["submitted"] == 0
+    assert stats["cache"]["hits"] == 0
+
+
+def test_submit_twice_second_run_all_cache_hits(service):
+    events = []
+    with ServiceClient(service, timeout=60) as client:
+        cold = client.submit({"kind": "selftest", "tasks": 5},
+                             on_event=events.append)
+        warm = client.submit({"kind": "selftest", "tasks": 5},
+                             include_results=True)
+        stats = client.stats()["stats"]
+    assert cold["ok"] and warm["ok"]
+    assert cold["summary"]["cache"]["misses"] == 5
+    assert len([e for e in events if e.get("kind") == "task_done"]) == 5
+    assert warm["summary"]["cache"] == {"hits": 5, "misses": 0,
+                                        "stores": 0, "unkeyable": 0}
+    assert warm["summary"]["results_digest"] == \
+        cold["summary"]["results_digest"]
+    assert warm["summary"]["obs_digest"] == cold["summary"]["obs_digest"]
+    assert warm["results"]["tasks"] == 5  # include_results ships the doc
+    assert stats["jobs"]["done"] == 2
+    assert stats["cache"] == {"hits": 5, "misses": 5, "stores": 5,
+                              "unkeyable": 0, "entries_memory": 5}
+
+
+def test_no_wait_submit_then_poll_status_and_result(service):
+    with ServiceClient(service, timeout=60) as client:
+        reply = client.submit({"kind": "selftest", "tasks": 2}, wait=False)
+        job = reply["job"]
+        assert job.startswith("job-")
+        for _ in range(200):
+            brief = client.status(job)
+            if brief["state"] in ("done", "failed"):
+                break
+        assert brief["state"] == "done"
+        doc = client.result(job)
+        assert doc["results"]["tasks"] == 2
+        listing = client.status()
+        assert [j["job"] for j in listing["jobs"]] == [job]
+
+
+def test_bad_spec_rejected_without_killing_connection(service):
+    with ServiceClient(service, timeout=30) as client:
+        reply = client.submit({"kind": "nope"})
+        assert not reply.get("ok")
+        assert "unknown campaign kind" in reply["error"]
+        assert client.ping()  # connection still serviceable
+
+
+def test_unknown_op_and_bad_json_are_protocol_errors(service):
+    with ServiceClient(service, timeout=30) as client:
+        reply = client.request("frobnicate")
+        assert not reply["ok"] and "unknown op" in reply["error"]
+        client._fh.write(b"{not json\n")
+        client._fh.flush()
+        line = client._fh.readline()
+        assert b"bad JSON" in line
+        assert client.ping()
+
+
+def test_service_pool_job_with_two_workers(tmp_path):
+    """One heavier check: a real pooled job through the thread-safe
+    (forkserver/spawn) service start method, warm resubmission included."""
+    sock = str(tmp_path / "pool.sock")
+    ready = threading.Event()
+
+    def runner():
+        svc = CampaignService(workers=2, cache=ResultCache())
+        asyncio.run(svc.serve(socket_path=sock, ready=ready))
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(15)
+    try:
+        with ServiceClient(sock, timeout=180) as client:
+            cold = client.submit({"kind": "selftest", "tasks": 6})
+            warm = client.submit({"kind": "selftest", "tasks": 6})
+            stats = client.stats()["stats"]
+        assert cold["ok"] and warm["ok"]
+        assert cold["summary"]["leases_total"] == 6  # pooled, not inline
+        assert warm["summary"]["cache"]["hits"] == 6
+        assert warm["summary"]["results_digest"] == \
+            cold["summary"]["results_digest"]
+        assert warm["summary"]["obs_digest"] == cold["summary"]["obs_digest"]
+        assert stats["mp_method"] in ("forkserver", "spawn")
+    finally:
+        with ServiceClient(sock, timeout=15) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()

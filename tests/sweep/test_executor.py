@@ -1,11 +1,14 @@
 """Unit tests for the :mod:`repro.sweep` multiprocessing executor."""
 
 import json
+import os
+import time
 
 import pytest
 
 from repro.obs import MetricsRegistry
 from repro.sweep import SweepResult, SweepTask, run_sweep, save_results, task_seed
+from repro.sweep.executor import _jsonable
 
 
 # Task functions must live at module level so they pickle into workers.
@@ -141,13 +144,26 @@ def test_save_results_structure(tmp_path):
     assert doc["tasks"] == 3
     assert doc["ok"] == 2
     assert doc["errors"] == 1
-    assert doc["ranks"] == 8
+    assert doc["extra"]["ranks"] == 8
     assert [r["index"] for r in doc["results"]] == [0, 1, 2]
     assert doc["results"][0]["value"] == 0
     assert doc["results"][1]["status"] == "error"
     assert "traceback" in doc["results"][1]
     assert "value" not in doc["results"][1]
     assert doc["results"][2]["seed"] == task_seed(5, 2, "t2")
+
+
+def test_save_results_extra_cannot_clobber_document_keys(tmp_path):
+    """Historically ``extra`` merged into the top level, so a key named
+    ``results`` or ``ok`` silently replaced the document's own field."""
+    results = run_sweep(square, _tasks(2), workers=1)
+    out = tmp_path / "sweep.json"
+    save_results(str(out), results, sweep_name="demo",
+                 extra={"results": "clobber", "ok": -1, "tasks": 999})
+    doc = json.loads(out.read_text())
+    assert doc["tasks"] == 2 and doc["ok"] == 2  # document fields intact
+    assert [r["index"] for r in doc["results"]] == [0, 1]
+    assert doc["extra"] == {"results": "clobber", "ok": -1, "tasks": 999}
 
 
 def test_to_json_handles_structured_values(tmp_path):
@@ -163,3 +179,138 @@ def test_to_json_reprs_unserialisable_values():
     encoded = res.to_json()
     assert isinstance(encoded["value"], str)
     json.dumps(encoded)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# _jsonable key-collision handling
+# ----------------------------------------------------------------------
+
+def test_jsonable_disambiguates_colliding_stringified_keys():
+    """``1`` and ``"1"`` both stringify to ``"1"``; they used to merge
+    silently (last writer wins).  Both values must survive."""
+    out = _jsonable({1: "int", "1": "str", None: "none", "None": "s"})
+    assert out["1"] == "int"
+    assert out["1#str"] == "str"
+    assert out["None"] == "none"
+    assert out["None#str"] == "s"
+    assert len(out) == 4
+
+
+def test_jsonable_collision_suffixes_are_deterministic():
+    a = _jsonable({1: "a", "1": "b", 1.0: "c"})
+    # 1 and 1.0 are equal dict keys, so only two entries exist
+    assert a == {"1": "c", "1#str": "b"}
+    out = _jsonable({"2": "s", 2: "i", "2#int": "taken"})
+    assert out == {"2": "s", "2#int": "i", "2#int#str": "taken"}
+    # the numbered suffix kicks in when the typed form is taken too
+    out = _jsonable({"3": "a", "3#int": "b", 3: "c", (3,): {"3": 1, 3: 2}})
+    assert out["3#int.2"] == "c"
+    assert out["(3,)"] == {"3": 1, "3#int": 2}  # recursion disambiguates
+
+
+def test_jsonable_strict_raises_on_collision_and_repr():
+    with pytest.raises(ValueError, match="collide"):
+        _jsonable({1: "a", "1": "b"}, strict=True)
+    with pytest.raises(ValueError, match="content-stable"):
+        _jsonable(object(), strict=True)
+    # plain data passes through strict mode unchanged
+    assert _jsonable({"a": [1, 2.5, None, True]}, strict=True) == \
+        {"a": [1, 2.5, None, True]}
+
+
+# ----------------------------------------------------------------------
+# hard worker crashes (no exception, no result)
+# ----------------------------------------------------------------------
+
+def crash_hard(params):
+    if params["x"] == 2:
+        time.sleep(0.4)  # let innocent tasks drain first
+        os._exit(13)  # simulated segfault/OOM kill: pool breaks
+    return params["x"]
+
+
+def test_worker_hard_crash_raises_lost_results():
+    """A worker that dies without returning must not hang the sweep or
+    silently drop its task: after a retry in a fresh pool, the sweep
+    raises the historical lost-results error naming the task index."""
+    with pytest.raises(RuntimeError,
+                       match=r"sweep lost results for task indices \[2\]"):
+        run_sweep(crash_hard, _tasks(4), workers=2)
+
+
+# ----------------------------------------------------------------------
+# obs snapshots from *error* results merge in task order
+# ----------------------------------------------------------------------
+
+def obs_then_fail(params):
+    obs = params["obs"]
+    n = params["x"]
+    obs.counter("t.runs", ("n",)).inc(labels=(n,))
+    obs.event("t.seen", n=n)
+    if n % 2:
+        raise ValueError(f"odd input {n}")
+    return n
+
+
+def _merged_export(workers):
+    from repro.obs import dump_metrics
+
+    parent = MetricsRegistry()
+    results = run_sweep(obs_then_fail, _tasks(4), workers=workers,
+                        obs=parent, collect_obs=True)
+    assert [r.status for r in results] == ["ok", "error", "ok", "error"]
+    order = [e.fields["n"] for e in parent.events if e.kind == "t.seen"]
+    return dump_metrics(parent, "jsonl"), order
+
+
+def test_error_result_obs_snapshots_merge_in_task_order():
+    """Failing tasks still ship their partial obs snapshot, and the merge
+    happens in task order for any worker count — error events from task 1
+    land before task 2's even when a pool finished them out of order."""
+    seq_export, seq_order = _merged_export(workers=1)
+    par_export, par_order = _merged_export(workers=2)
+    assert seq_order == [0, 1, 2, 3]
+    assert par_order == [0, 1, 2, 3]
+    assert par_export == seq_export
+
+
+# ----------------------------------------------------------------------
+# content-addressed cache round trip
+# ----------------------------------------------------------------------
+
+def test_cache_round_trip_byte_identity():
+    """Second run against a warm cache: 100% hits, and every export —
+    result JSON and the merged obs registry — byte-identical to the
+    cold run (durations included: hits carry the cold run's)."""
+    from repro.obs import dump_metrics
+    from repro.service import ResultCache
+
+    cache = ResultCache()
+
+    def run(service_obs=None):
+        parent = MetricsRegistry()
+        results = run_sweep(obs_then_fail, _tasks(4), workers=1,
+                            base_seed=9, obs=parent, collect_obs=True,
+                            cache=cache, service_obs=service_obs)
+        return results, dump_metrics(parent, "jsonl")
+
+    cold, cold_obs = run()
+    assert all(not r.cached for r in cold)
+    assert cache.stats()["misses"] == 4 and cache.stats()["stores"] == 4
+
+    acct = MetricsRegistry()
+    warm, warm_obs = run(service_obs=acct)
+    assert all(r.cached for r in warm)
+    assert cache.stats()["hits"] == 4
+    # hit/miss accounting lands in the *service* registry only
+    assert acct.counter("service.cache", ("outcome",)).get(("hit",)) == 4
+    assert "service.cache" not in warm_obs
+
+    assert [r.to_json() for r in warm] == [r.to_json() for r in cold]
+    assert [r.duration for r in warm] == [r.duration for r in cold]
+    assert warm_obs == cold_obs
+
+
+def test_cached_flag_not_serialized():
+    res = SweepResult(index=0, name="t", status="ok", value=1, cached=True)
+    assert "cached" not in res.to_json()
